@@ -1,0 +1,235 @@
+// Command stackmem runs the Memory+Logic stacking study end to end:
+// the Figure 5 CPMA/bandwidth sweep over the twelve RMS benchmarks,
+// the Figure 7 power budgets, and the Figure 8 thermal comparison.
+//
+// Usage:
+//
+//	stackmem                 run everything at reference scale
+//	stackmem -bench gauss    one benchmark only
+//	stackmem -scale 0.25     smaller working sets (faster)
+//	stackmem -config         print the Table 3 machine parameters
+//	stackmem -power          print the Figure 7 power budgets
+//	stackmem -thermal        print the Figure 8 temperatures
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"diestack/internal/core"
+	"diestack/internal/memhier"
+	"diestack/internal/thermal"
+	"diestack/internal/trace"
+	"diestack/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile  = flag.String("trace", "", "replay a binary trace file instead of generating workloads")
+		bench      = flag.String("bench", "", "run a single benchmark (default: all twelve)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized footprints)")
+		seed       = flag.Uint64("seed", 1, "trace generation seed")
+		grid       = flag.Int("grid", 0, "thermal grid resolution (0 = default 64)")
+		showConfig = flag.Bool("config", false, "print the Table 3 machine parameters and exit")
+		powerOnly  = flag.Bool("power", false, "print the Figure 7 power budgets and exit")
+		thermOnly  = flag.Bool("thermal", false, "print the Figure 8 temperatures and exit")
+		pngOut     = flag.String("png", "", "write the 32MB stack's thermal map (Figure 8b) to this PNG file")
+	)
+	flag.Parse()
+
+	switch {
+	case *traceFile != "":
+		if err := replayFile(*traceFile); err != nil {
+			fatal(err)
+		}
+	case *showConfig:
+		printConfig()
+	case *powerOnly:
+		printPower()
+	case *thermOnly:
+		if err := printThermal(*grid); err != nil {
+			fatal(err)
+		}
+		if *pngOut != "" {
+			if err := writeThermalMap(*grid, *pngOut); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		if err := runPerf(*bench, *seed, *scale); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		printPower()
+		fmt.Println()
+		if err := printThermal(*grid); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stackmem:", err)
+	os.Exit(1)
+}
+
+// replayFile runs a tracegen-produced binary trace through all four
+// configurations.
+func replayFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s on the four configurations:\n", path)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "capacity\tCPMA\tBW GB/s\ttraffic MB\trecords")
+	for _, o := range core.MemoryOptions() {
+		cfg, err := o.HierarchyConfig()
+		if err != nil {
+			return err
+		}
+		sim, err := memhier.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(trace.NewReader(bytes.NewReader(data)), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.1f\t%d\n",
+			o, res.CPMA, res.BandwidthGBs, float64(res.OffDieBytes)/(1<<20), res.Records)
+	}
+	return w.Flush()
+}
+
+func printConfig() {
+	fmt.Println("Machine parameters (Table 3):")
+	for _, o := range core.MemoryOptions() {
+		cfg, err := o.HierarchyConfig()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-8s L2 %2d MB (%s), line %dB, %d-way, tag latency %d cyc\n",
+			o, o.CapacityMB(), cfg.L2Type, cfg.L2.LineBytes, cfg.L2.Ways, cfg.L2.Latency)
+	}
+	base, _ := core.Planar4MB.HierarchyConfig()
+	fmt.Printf("  L1I/L1D: %d KB, %dB line, %d-way, %d cyc\n",
+		base.L1D.SizeBytes>>10, base.L1D.LineBytes, base.L1D.Ways, base.L1D.Latency)
+	fmt.Printf("  Main memory: %d banks, %d KB page, page open %d / precharge %d / read %d cyc, +%d interface\n",
+		base.Memory.Banks, base.Memory.PageBytes>>10,
+		base.Memory.Timing.PageOpen, base.Memory.Timing.Precharge, base.Memory.Timing.Read,
+		base.Memory.Overhead)
+	fmt.Printf("  Off-die bus: %.0f GB/s at %.1f GHz (%.0f mW/Gb/s)\n",
+		base.BusBytesPerCycle*base.CoreGHz, base.CoreGHz, base.BusPicoJoulePerBit)
+}
+
+func runPerf(bench string, seed uint64, scale float64) error {
+	var benches []workload.Benchmark
+	if bench != "" {
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (have %v)", bench, workload.Names())
+		}
+		benches = []workload.Benchmark{b}
+	} else {
+		benches = workload.All()
+	}
+
+	fmt.Printf("Figure 5 — CPMA and off-die bandwidth, scale %.2f:\n", scale)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tcapacity\tCPMA\tBW GB/s\tbus W\ttraffic MB")
+	opts := core.MemoryOptions()
+
+	type agg struct{ base, big core.MemoryPerf }
+	var rows []agg
+	for _, b := range benches {
+		var a agg
+		for _, o := range opts {
+			p, err := core.RunMemoryPerf(o, b, seed, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%.3f\t%.1f\n",
+				b.Name, o, p.CPMA, p.BandwidthGBs, p.BusPowerW, float64(p.OffDieBytes)/(1<<20))
+			switch o {
+			case core.Planar4MB:
+				a.base = p
+			case core.Stacked32MB:
+				a.big = p
+			}
+		}
+		rows = append(rows, a)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if len(rows) > 1 {
+		var sumRed, maxRed float64
+		maxName := ""
+		for i, a := range rows {
+			red := (1 - a.big.CPMA/a.base.CPMA) * 100
+			sumRed += red
+			if red > maxRed {
+				maxRed, maxName = red, benches[i].Name
+			}
+		}
+		fmt.Printf("\n32MB vs baseline: average CPMA reduction %.1f%% (paper 13%%), peak %.1f%% on %s (paper ~55%%)\n",
+			sumRed/float64(len(rows)), maxRed, maxName)
+	}
+	return nil
+}
+
+func printPower() {
+	fmt.Println("Power budgets (Figure 7):")
+	for _, o := range core.MemoryOptions() {
+		fp, err := o.Floorplan()
+		if err != nil {
+			fatal(err)
+		}
+		if fp.Dies == 1 {
+			fmt.Printf("  %-8s %6.1f W (planar die)\n", o, fp.TotalPower())
+		} else {
+			fmt.Printf("  %-8s %6.1f W (CPU die %.1f W + stacked die %.1f W)\n",
+				o, fp.TotalPower(), fp.DiePower(0), fp.DiePower(1))
+		}
+	}
+}
+
+// writeThermalMap renders Figure 8(b): the 32MB stack's thermal map.
+func writeThermalMap(grid int, path string) error {
+	m, err := core.RunMemoryThermalMap(core.Stacked32MB, grid)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := thermal.WritePNG(f, m, 8); err != nil {
+		return err
+	}
+	fmt.Printf("32MB stack thermal map written to %s\n", path)
+	return nil
+}
+
+func printThermal(grid int) error {
+	fmt.Println("Peak temperatures (Figure 8a):")
+	rows, err := core.RunFigure8(grid)
+	if err != nil {
+		return err
+	}
+	paper := map[core.MemoryOption]float64{
+		core.Planar4MB: 88.35, core.Stacked12MB: 92.85,
+		core.Stacked32MB: 88.43, core.Stacked64MB: 90.27,
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-8s %6.2f degC  (paper %.2f)  total %6.1f W\n",
+			r.Option, r.PeakC, paper[r.Option], r.TotalPowerW)
+	}
+	return nil
+}

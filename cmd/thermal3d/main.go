@@ -1,0 +1,144 @@
+// Command thermal3d is the standalone 3D die-stacking thermal tool:
+// it prints the Table 2 material constants, solves the baseline planar
+// thermal map (Figure 6), and runs the Figure 3 conductivity
+// sensitivity sweep.
+//
+// Usage:
+//
+//	thermal3d             run everything
+//	thermal3d -materials  Table 2 constants only
+//	thermal3d -baseline   Figure 6 maps only
+//	thermal3d -sweep      Figure 3 sweep only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diestack/internal/core"
+	"diestack/internal/thermal"
+)
+
+func main() {
+	var (
+		matOnly   = flag.Bool("materials", false, "print the Table 2 constants and exit")
+		baseOnly  = flag.Bool("baseline", false, "solve the Figure 6 baseline maps and exit")
+		sweepOnly = flag.Bool("sweep", false, "run the Figure 3 sensitivity sweep and exit")
+		grid      = flag.Int("grid", 0, "grid resolution (0 = default 64)")
+		pngOut    = flag.String("png", "", "also write the Figure 6 thermal map to this PNG file")
+	)
+	flag.Parse()
+
+	all := !*matOnly && !*baseOnly && !*sweepOnly
+	if *matOnly || all {
+		printMaterials()
+	}
+	if *baseOnly || all {
+		fmt.Println()
+		if err := printBaseline(*grid, *pngOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *sweepOnly || all {
+		fmt.Println()
+		if err := printSweep(*grid); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermal3d:", err)
+	os.Exit(1)
+}
+
+func printMaterials() {
+	fmt.Println("Thermal constants (Table 2):")
+	rows := []struct {
+		name  string
+		value string
+	}{
+		{"Si #1 thickness", fmt.Sprintf("%.0f um", thermal.Si1Thickness*1e6)},
+		{"Si #2 thickness", fmt.Sprintf("%.0f um", thermal.Si2Thickness*1e6)},
+		{"Si ther cond", fmt.Sprintf("%.0f W/mK", thermal.Silicon.Conductivity)},
+		{"Cu metal thickness", fmt.Sprintf("%.0f um", thermal.CuMetalThickness*1e6)},
+		{"Cu metal ther cond", fmt.Sprintf("%.0f W/mK", thermal.CuMetal.Conductivity)},
+		{"Al metal thickness", fmt.Sprintf("%.0f um", thermal.AlMetalThickness*1e6)},
+		{"Al metal ther cond", fmt.Sprintf("%.0f W/mK", thermal.AlMetal.Conductivity)},
+		{"Bond thickness", fmt.Sprintf("%.0f um", thermal.BondThickness*1e6)},
+		{"Bond ther cond", fmt.Sprintf("%.0f W/mK", thermal.BondLayer.Conductivity)},
+		{"Ambient temperature", fmt.Sprintf("%.0f C", thermal.AmbientC)},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-22s %s\n", r.name, r.value)
+	}
+}
+
+// printBaseline solves the planar reference and renders the Figure 6
+// temperature map as ASCII shading.
+func printBaseline(grid int, pngOut string) error {
+	pd, tm, err := core.Figure6Maps(grid)
+	if err != nil {
+		return err
+	}
+	if pngOut != "" {
+		f, err := os.Create(pngOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := thermal.WritePNG(f, tm, 8); err != nil {
+			return err
+		}
+		fmt.Printf("thermal map written to %s\n", pngOut)
+	}
+	peak, low := -1e9, 1e9
+	for _, row := range tm {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+			if v < low {
+				low = v
+			}
+		}
+	}
+	fmt.Printf("Figure 6 — baseline planar thermal map: peak %.2f degC (paper 88.35), coolest %.2f (paper 59)\n", peak, low)
+	shades := []byte(" .:-=+*#%@")
+	for y := len(tm) - 1; y >= 0; y -= 2 { // subsample rows for aspect ratio
+		line := make([]byte, len(tm[y]))
+		for x := range tm[y] {
+			f := (tm[y][x] - low) / (peak - low + 1e-9)
+			idx := int(f * float64(len(shades)-1))
+			line[x] = shades[idx]
+		}
+		fmt.Printf("  %s\n", line)
+	}
+	// Peak power density for the power-map panel.
+	var maxPD float64
+	for _, row := range pd {
+		for _, v := range row {
+			if v > maxPD {
+				maxPD = v
+			}
+		}
+	}
+	fmt.Printf("  peak power density %.2f W/mm2\n", maxPD/1e6)
+	return nil
+}
+
+func printSweep(grid int) error {
+	fmt.Println("Figure 3 — peak temperature vs layer conductivity (stacked microprocessor):")
+	for _, layer := range []core.SweepLayer{core.SweepCuMetal, core.SweepBond} {
+		pts, err := core.RunFigure3(layer, nil, grid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s:\n", layer)
+		for _, p := range pts {
+			fmt.Printf("    k=%5.1f W/mK  peak %.2f degC\n", p.ConductivityWmK, p.PeakC)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// folded_cpu: explore which pipe-stage eliminations pay off when
+// folding a deeply pipelined CPU onto two dies.
+//
+// A real 3D floorplanning effort cannot fold everything at once; this
+// example ranks the Table 4 functionality groups by measured IPC gain
+// on a chosen workload class, then applies them cumulatively
+// (greedily) and reports the performance trajectory alongside the
+// paper's voltage-scaling options for spending the gain.
+//
+// Run with: go run ./examples/folded_cpu
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"diestack/internal/power"
+	"diestack/internal/uarch"
+	"diestack/internal/uarch/synth"
+)
+
+func main() {
+	const n = 120_000
+	cfg := uarch.PlanarConfig()
+
+	// Use the FP-heavy kernels class: the fold decisions differ
+	// sharply from an integer-heavy target.
+	prof, ok := synth.ByName("kernels")
+	if !ok {
+		log.Fatal("profile registry is missing kernels")
+	}
+	prog := prof.Generate(7, n)
+	base, err := uarch.Run(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planar %s IPC: %.3f (mispredict penalty %d cycles)\n\n",
+		prof.Name, base.IPC, cfg.MispredictPenalty())
+
+	// Rank each group's standalone gain.
+	type gain struct {
+		name string
+		fold uarch.Fold
+		pct  float64
+	}
+	var gains []gain
+	for _, g := range synth.Table4Groups() {
+		res, err := uarch.Run(cfg.Apply(g.Fold), prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gains = append(gains, gain{g.Name, g.Fold, (res.IPC/base.IPC - 1) * 100})
+	}
+	sort.Slice(gains, func(i, j int) bool { return gains[i].pct > gains[j].pct })
+
+	fmt.Println("standalone gains, best first:")
+	for _, g := range gains {
+		fmt.Printf("  %-26s %+6.2f%%\n", g.name, g.pct)
+	}
+
+	// Apply them cumulatively in that order.
+	fmt.Println("\ncumulative fold trajectory:")
+	var acc uarch.Fold
+	for i, g := range gains {
+		acc = mergeFolds(acc, g.fold)
+		res, err := uarch.Run(cfg.Apply(acc), prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		removed, total := cfg.StagesEliminated(acc)
+		fmt.Printf("  +%-26s IPC %.3f (%+5.2f%%), %2d/%d stages gone\n",
+			g.name, res.IPC, (res.IPC/base.IPC-1)*100, removed, total)
+		if i == len(gains)-1 {
+			// Spend the final gain: the paper's Table 5 options.
+			laws := power.PaperLaws()
+			design := power.Design{
+				BasePowerW:  147,
+				PowerFactor: 0.85,
+				PerfGainPct: (res.IPC/base.IPC - 1) * 100,
+			}
+			fmt.Println("\nways to spend it (V/f scaling):")
+			pt, err := laws.At(design, "same frequency", 1, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  keep the clock:   %+.0f%% perf at %.0f W\n", pt.PerfPct-100, pt.PowerW)
+			f := laws.FreqForPerf(design, 100)
+			pt, err = laws.At(design, "same performance", laws.VccForFreq(f), f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  keep the perf:    %.0f W (%.0f%% of baseline) at Vcc %.2f\n",
+				pt.PowerW, pt.PowerPct, pt.Vcc)
+		}
+	}
+}
+
+// mergeFolds ORs two fold selections.
+func mergeFolds(a, b uarch.Fold) uarch.Fold {
+	return uarch.Fold{
+		FrontEnd:    a.FrontEnd || b.FrontEnd,
+		TraceCache:  a.TraceCache || b.TraceCache,
+		Rename:      a.Rename || b.Rename,
+		FPLatency:   a.FPLatency || b.FPLatency,
+		IntRF:       a.IntRF || b.IntRF,
+		DCache:      a.DCache || b.DCache,
+		Loop:        a.Loop || b.Loop,
+		RetireDealc: a.RetireDealc || b.RetireDealc,
+		FPLoad:      a.FPLoad || b.FPLoad,
+		StoreLife:   a.StoreLife || b.StoreLife,
+	}
+}

@@ -1,0 +1,3 @@
+module diestack
+
+go 1.22

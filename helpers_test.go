@@ -1,0 +1,23 @@
+package diestack_test
+
+import (
+	"diestack/internal/trace"
+)
+
+// streamTrace builds a simple two-core streaming trace for throughput
+// benchmarks.
+func streamTrace(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			ID: uint64(i), Dep: trace.NoDep,
+			Addr: uint64(i) * 64, PC: 0x400000,
+			CPU: uint8(i % 2), Kind: trace.Load, Reps: 7,
+		}
+	}
+	return recs
+}
+
+func sliceStream(recs []trace.Record) trace.Stream {
+	return trace.NewSliceStream(recs)
+}

@@ -1,0 +1,29 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: 4})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkAccessMissEvict(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A striding address stream that always misses and evicts.
+		c.Access(uint64(i)*64, i%2 == 0)
+	}
+}
+
+func BenchmarkAccessSectored(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 20, LineBytes: 512, Ways: 16, SectorBytes: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+}

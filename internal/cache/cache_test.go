@@ -1,0 +1,315 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func l1Cfg() Config {
+	// Paper Table 3: L1D 32KB, 64B line, 8-way, 4 cyc.
+	return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: 4}
+}
+
+func dramCfg() Config {
+	// Paper Table 3: stacked DRAM, 512B page, 64B sectors.
+	return Config{SizeBytes: 32 << 20, LineBytes: 512, Ways: 16, Latency: 0, SectorBytes: 64}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"l1", l1Cfg(), true},
+		{"dram sectored", dramCfg(), true},
+		{"zero size", Config{LineBytes: 64, Ways: 1}, false},
+		{"non pow2 size", Config{SizeBytes: 3000, LineBytes: 64, Ways: 1}, false},
+		{"line > size", Config{SizeBytes: 64, LineBytes: 128, Ways: 1}, false},
+		{"zero ways", Config{SizeBytes: 1024, LineBytes: 64, Ways: 0}, false},
+		{"ways > lines", Config{SizeBytes: 128, LineBytes: 64, Ways: 4}, false},
+		{"sector > line", Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, SectorBytes: 128}, false},
+		{"non pow2 sector", Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, SectorBytes: 48}, false},
+		{"negative latency", Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Latency: -1}, false},
+		{"fully assoc", Config{SizeBytes: 1024, LineBytes: 64, Ways: 16}, true},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSectors(t *testing.T) {
+	if l1Cfg().Sectors() != 1 {
+		t.Error("non-sectored cache should report 1 sector")
+	}
+	if dramCfg().Sectors() != 8 {
+		t.Errorf("512/64 = %d sectors, want 8", dramCfg().Sectors())
+	}
+}
+
+func TestSets(t *testing.T) {
+	if got := l1Cfg().Sets(); got != 64 {
+		t.Errorf("L1 sets = %d, want 64", got)
+	}
+}
+
+func TestTagStoreBytes(t *testing.T) {
+	// The paper says ~2MB of tags for the 32MB DRAM cache and ~4MB for
+	// 64MB. Our estimate should land in that ballpark (within 2x).
+	tag32 := dramCfg().TagStoreBytes(40)
+	if tag32 < 256<<10 || tag32 > 4<<20 {
+		t.Errorf("32MB DRAM tag store = %d bytes, expected O(MB)", tag32)
+	}
+	cfg64 := dramCfg()
+	cfg64.SizeBytes = 64 << 20
+	tag64 := cfg64.TagStoreBytes(40)
+	if tag64 <= tag32 {
+		t.Errorf("64MB tags (%d) should exceed 32MB tags (%d)", tag64, tag32)
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(l1Cfg())
+	if out := c.Access(0x1000, false); out.Hit || out.LineHit {
+		t.Fatalf("cold access hit: %+v", out)
+	}
+	if out := c.Access(0x1000, false); !out.Hit {
+		t.Fatal("second access should hit")
+	}
+	if out := c.Access(0x1004, false); !out.Hit {
+		t.Fatal("same line should hit")
+	}
+	if out := c.Access(0x1040, false); out.Hit {
+		t.Fatal("next line should miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.LineMiss != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Tiny direct-mapped-ish cache: 2 ways, 2 sets, 64B lines.
+	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	// Set 0 holds lines at stride 128.
+	c.Access(0, false)   // A -> set 0
+	c.Access(128, false) // B -> set 0
+	c.Access(0, false)   // touch A; B is now LRU
+	out := c.Access(256, false)
+	if out.Evicted == nil || out.Evicted.Addr != 128 {
+		t.Fatalf("expected eviction of LRU line 128, got %+v", out.Evicted)
+	}
+	if !c.Probe(0) {
+		t.Fatal("MRU line A was evicted")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := New(Config{SizeBytes: 128, LineBytes: 64, Ways: 1})
+	c.Access(0, true)           // dirty A in set 0
+	out := c.Access(128, false) // evicts A
+	if out.Evicted == nil || !out.Evicted.Dirty || out.Evicted.Addr != 0 {
+		t.Fatalf("dirty eviction missing: %+v", out.Evicted)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+	// Clean eviction produces no writeback.
+	out = c.Access(0, false)
+	if out.Evicted == nil || out.Evicted.Dirty {
+		t.Fatalf("clean eviction wrong: %+v", out.Evicted)
+	}
+}
+
+func TestSectoredBehaviour(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, LineBytes: 512, Ways: 2, SectorBytes: 64})
+	// First touch: line miss.
+	out := c.Access(0, false)
+	if out.Hit || out.LineHit {
+		t.Fatalf("cold: %+v", out)
+	}
+	// Different sector in same line: sector miss, line hit.
+	out = c.Access(64, false)
+	if out.Hit || !out.LineHit {
+		t.Fatalf("sector miss should be LineHit: %+v", out)
+	}
+	// Same sector again: full hit.
+	if out = c.Access(64, false); !out.Hit {
+		t.Fatalf("sector revisit should hit: %+v", out)
+	}
+	s := c.Stats()
+	if s.SectorMiss != 1 || s.LineMiss != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSectoredDirtyMask(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 512, Ways: 1, SectorBytes: 64})
+	c.Access(0, true)   // sector 0 dirty
+	c.Access(128, true) // sector 2 dirty
+	c.Access(192, false)
+	out := c.Access(1024, false) // same set as line 0 (2 sets x 512B) -> evict
+	if out.Evicted == nil || !out.Evicted.Dirty {
+		t.Fatal("expected dirty eviction")
+	}
+	if out.Evicted.DirtySectors != 0b101 {
+		t.Fatalf("DirtySectors = %b, want 101", out.Evicted.DirtySectors)
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	c.Access(0, false)
+	c.Access(128, false)
+	before := c.Stats()
+	if !c.Probe(0) || !c.Probe(128) || c.Probe(256) {
+		t.Fatal("probe results wrong")
+	}
+	if c.Stats() != before {
+		t.Fatal("Probe changed stats")
+	}
+	// Probe must not refresh LRU: line 0 is LRU, a new line evicts it.
+	out := c.Access(256, false)
+	if out.Evicted == nil || out.Evicted.Addr != 0 {
+		t.Fatalf("probe refreshed LRU: %+v", out.Evicted)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(l1Cfg())
+	c.Access(0x2000, true)
+	ev := c.Invalidate(0x2000)
+	if ev == nil || !ev.Dirty {
+		t.Fatalf("invalidate of dirty line: %+v", ev)
+	}
+	if c.Probe(0x2000) {
+		t.Fatal("line still present after invalidate")
+	}
+	if c.Invalidate(0x2000) != nil {
+		t.Fatal("second invalidate should return nil")
+	}
+	if c.Stats().Invalidates != 1 {
+		t.Fatalf("Invalidates = %d", c.Stats().Invalidates)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(l1Cfg())
+	if c.LineAddr(0x12345) != 0x12340 {
+		t.Errorf("LineAddr = %#x", c.LineAddr(0x12345))
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	if c.Occupancy() != 0 {
+		t.Fatal("new cache should be empty")
+	}
+	c.Access(0, false)
+	c.Access(64, false)
+	if got := c.Occupancy(); got != 0.5 {
+		t.Fatalf("Occupancy = %v, want 0.5", got)
+	}
+}
+
+func TestHitRateZero(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("idle HitRate should be 0")
+	}
+}
+
+// Property: after accessing an address, Probe reports it present;
+// evicted addresses are absent. Uses a small cache to force traffic.
+func TestPresenceInvariantQuick(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+		present := make(map[uint64]bool)
+		for _, a := range addrs {
+			addr := uint64(a)
+			out := c.Access(addr, a%2 == 0)
+			line := c.LineAddr(addr)
+			present[line] = true
+			if out.Evicted != nil {
+				delete(present, out.Evicted.Addr)
+			}
+			if !c.Probe(addr) {
+				return false // just-accessed address must be present
+			}
+		}
+		// Every address we believe present must probe true.
+		for line, ok := range present {
+			if ok && !c.Probe(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eviction addresses always map to the same set as the access
+// that caused them, and are line-aligned.
+func TestEvictionGeometryQuick(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{SizeBytes: 4096, LineBytes: 128, Ways: 4})
+		for _, a := range addrs {
+			addr := uint64(a)
+			out := c.Access(addr, false)
+			if out.Evicted != nil {
+				ev := out.Evicted.Addr
+				if ev%128 != 0 {
+					return false
+				}
+				if c.index(ev) != c.index(addr) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stats ledger balances — accesses = hits + sector misses +
+// line misses.
+func TestStatsLedgerQuick(t *testing.T) {
+	f := func(addrs []uint16, sectored bool) bool {
+		cfg := Config{SizeBytes: 2048, LineBytes: 256, Ways: 2}
+		if sectored {
+			cfg.SectorBytes = 64
+		}
+		c := New(cfg)
+		for _, a := range addrs {
+			c.Access(uint64(a), a%3 == 0)
+		}
+		s := c.Stats()
+		return s.Accesses == s.Hits+s.SectorMiss+s.LineMiss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyAssociativeSweep(t *testing.T) {
+	// 16 lines fully associative: a working set of 16 lines must all fit.
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 16})
+	for i := 0; i < 16; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	for i := 0; i < 16; i++ {
+		if !c.Probe(uint64(i) * 64) {
+			t.Fatalf("line %d missing from fully associative cache", i)
+		}
+	}
+	// One more line evicts exactly the LRU (line 0).
+	out := c.Access(16*64, false)
+	if out.Evicted == nil || out.Evicted.Addr != 0 {
+		t.Fatalf("expected eviction of line 0, got %+v", out.Evicted)
+	}
+}

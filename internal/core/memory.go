@@ -1,0 +1,348 @@
+// Package core ties the substrates together into the paper's two
+// studies: Memory+Logic stacking (Section 3 — a large SRAM or DRAM
+// cache stacked on a dual-core die) and Logic+Logic stacking
+// (Section 4 — a deeply pipelined microprocessor folded onto two
+// dies), each evaluated for performance, power, and temperature.
+//
+// Every table and figure of the paper's evaluation is regenerated
+// through this package; see DESIGN.md for the experiment index.
+package core
+
+import (
+	"fmt"
+
+	"diestack/internal/floorplan"
+	"diestack/internal/memhier"
+	"diestack/internal/thermal"
+	"diestack/internal/trace"
+	"diestack/internal/workload"
+)
+
+// MemoryOption is one of the four Memory+Logic configurations of
+// Figure 5 / Figure 7.
+type MemoryOption int
+
+const (
+	// Planar4MB is the unmodified baseline die (Figure 7a).
+	Planar4MB MemoryOption = iota
+	// Stacked12MB adds an 8 MB SRAM die (Figure 7b).
+	Stacked12MB
+	// Stacked32MB replaces the L2 with a stacked 32 MB DRAM (Figure 7c).
+	Stacked32MB
+	// Stacked64MB stacks a 64 MB DRAM on the unchanged die (Figure 7d).
+	Stacked64MB
+)
+
+// MemoryOptions returns all four options in paper order.
+func MemoryOptions() []MemoryOption {
+	return []MemoryOption{Planar4MB, Stacked12MB, Stacked32MB, Stacked64MB}
+}
+
+// String names the option as in the paper's figures.
+func (o MemoryOption) String() string {
+	switch o {
+	case Planar4MB:
+		return "2D 4MB"
+	case Stacked12MB:
+		return "3D 12MB"
+	case Stacked32MB:
+		return "3D 32MB"
+	case Stacked64MB:
+		return "3D 64MB"
+	default:
+		return fmt.Sprintf("MemoryOption(%d)", int(o))
+	}
+}
+
+// CapacityMB returns the option's last-level capacity.
+func (o MemoryOption) CapacityMB() int {
+	switch o {
+	case Planar4MB:
+		return 4
+	case Stacked12MB:
+		return 12
+	case Stacked32MB:
+		return 32
+	case Stacked64MB:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// HierarchyConfig returns the option's memory hierarchy (Table 3).
+func (o MemoryOption) HierarchyConfig() (memhier.Config, error) {
+	cfg, ok := memhier.ConfigByCapacity(o.CapacityMB())
+	if !ok {
+		return memhier.Config{}, fmt.Errorf("core: unknown memory option %d", int(o))
+	}
+	return cfg, nil
+}
+
+// Floorplan returns the option's physical design (Figure 7).
+func (o MemoryOption) Floorplan() (*floorplan.Floorplan, error) {
+	switch o {
+	case Planar4MB:
+		return floorplan.Core2DuoPlanar(), nil
+	case Stacked12MB:
+		return floorplan.Core2DuoStacked12MB(), nil
+	case Stacked32MB:
+		return floorplan.Core2DuoStacked32MB(), nil
+	case Stacked64MB:
+		return floorplan.Core2DuoStacked64MB(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown memory option %d", int(o))
+	}
+}
+
+// stackedDie returns the second die's thermal spec builder.
+func (o MemoryOption) stackedDie() func(*thermal.PowerMap) thermal.DieSpec {
+	if o == Stacked12MB {
+		return thermal.SRAMDie
+	}
+	return thermal.DRAMDie
+}
+
+// MemoryPerf is one bar (and bandwidth point) of Figure 5.
+type MemoryPerf struct {
+	Benchmark string
+	Option    MemoryOption
+	// CPMA is cycles per memory access.
+	CPMA float64
+	// BandwidthGBs is the off-die bus bandwidth.
+	BandwidthGBs float64
+	// BusPowerW prices that bandwidth at 20 mW/Gb/s.
+	BusPowerW float64
+	// OffDieBytes is the total bus traffic.
+	OffDieBytes uint64
+	// Refs is the number of memory references replayed.
+	Refs uint64
+}
+
+// RunMemoryPerf replays one benchmark's trace against one
+// configuration. scale sizes the workload (1.0 = reference footprints;
+// tests use smaller).
+func RunMemoryPerf(o MemoryOption, bench workload.Benchmark, seed uint64, scale float64) (MemoryPerf, error) {
+	cfg, err := o.HierarchyConfig()
+	if err != nil {
+		return MemoryPerf{}, err
+	}
+	sim, err := memhier.New(cfg)
+	if err != nil {
+		return MemoryPerf{}, err
+	}
+	recs := bench.Generate(seed, scale)
+	res, err := sim.Run(trace.NewSliceStream(recs), 0)
+	if err != nil {
+		return MemoryPerf{}, fmt.Errorf("core: %s on %s: %w", bench.Name, o, err)
+	}
+	return MemoryPerf{
+		Benchmark:    bench.Name,
+		Option:       o,
+		CPMA:         res.CPMA,
+		BandwidthGBs: res.BandwidthGBs,
+		BusPowerW:    res.BusPowerW,
+		OffDieBytes:  res.OffDieBytes,
+		Refs:         res.Refs,
+	}, nil
+}
+
+// Figure5Result holds the full sweep: rows[benchmark][option].
+type Figure5Result struct {
+	Benchmarks []string
+	Options    []MemoryOption
+	Rows       [][]MemoryPerf
+}
+
+// RunFigure5 sweeps every RMS benchmark over every configuration —
+// the paper's Figure 5. Traces are regenerated per benchmark and
+// shared across the four options.
+func RunFigure5(seed uint64, scale float64) (*Figure5Result, error) {
+	benches := workload.All()
+	opts := MemoryOptions()
+	out := &Figure5Result{Options: opts}
+	for _, b := range benches {
+		out.Benchmarks = append(out.Benchmarks, b.Name)
+		recs := b.Generate(seed, scale)
+		row := make([]MemoryPerf, 0, len(opts))
+		for _, o := range opts {
+			cfg, err := o.HierarchyConfig()
+			if err != nil {
+				return nil, err
+			}
+			sim, err := memhier.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(trace.NewSliceStream(recs), 0)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", b.Name, o, err)
+			}
+			row = append(row, MemoryPerf{
+				Benchmark:    b.Name,
+				Option:       o,
+				CPMA:         res.CPMA,
+				BandwidthGBs: res.BandwidthGBs,
+				BusPowerW:    res.BusPowerW,
+				OffDieBytes:  res.OffDieBytes,
+				Refs:         res.Refs,
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Headline summarizes Figure 5 the way the paper's abstract does.
+type Headline struct {
+	// AvgCPMAReductionPct is the mean CPMA reduction of the 32 MB
+	// stack vs the baseline (paper: 13%).
+	AvgCPMAReductionPct float64
+	// MaxCPMAReductionPct is the best single benchmark (paper: ~55%).
+	MaxCPMAReductionPct float64
+	// MaxReductionBenchmark names it.
+	MaxReductionBenchmark string
+	// TrafficReductionFactor is baseline bus bytes over 32 MB bus
+	// bytes, averaged (paper: ~3x).
+	TrafficReductionFactor float64
+	// BusPowerSavingW is the average bus power saved (paper: ~0.5 W).
+	BusPowerSavingW float64
+}
+
+// Headline computes the abstract's aggregate claims from a Figure 5
+// sweep.
+func (f *Figure5Result) Headline() Headline {
+	baseIdx, bigIdx := -1, -1
+	for i, o := range f.Options {
+		switch o {
+		case Planar4MB:
+			baseIdx = i
+		case Stacked32MB:
+			bigIdx = i
+		}
+	}
+	var h Headline
+	if baseIdx < 0 || bigIdx < 0 || len(f.Rows) == 0 {
+		return h
+	}
+	var sumRed, sumFactor, sumSaving float64
+	for i, row := range f.Rows {
+		base, big := row[baseIdx], row[bigIdx]
+		red := (1 - big.CPMA/base.CPMA) * 100
+		sumRed += red
+		if red > h.MaxCPMAReductionPct {
+			h.MaxCPMAReductionPct = red
+			h.MaxReductionBenchmark = f.Benchmarks[i]
+		}
+		if big.OffDieBytes > 0 {
+			sumFactor += float64(base.OffDieBytes) / float64(big.OffDieBytes)
+		}
+		sumSaving += base.BusPowerW - big.BusPowerW
+	}
+	n := float64(len(f.Rows))
+	h.AvgCPMAReductionPct = sumRed / n
+	h.TrafficReductionFactor = sumFactor / n
+	h.BusPowerSavingW = sumSaving / n
+	return h
+}
+
+// MemoryThermal is one bar of Figure 8(a).
+type MemoryThermal struct {
+	Option MemoryOption
+	// PeakC is the stack's hottest temperature.
+	PeakC float64
+	// MinC is the coolest spot on the CPU die.
+	MinC float64
+	// TotalPowerW is the configuration's power (Figure 7).
+	TotalPowerW float64
+}
+
+// RunMemoryThermal solves the option's thermal stack (Figure 8).
+// grid <= 0 selects the default resolution.
+func RunMemoryThermal(o MemoryOption, grid int) (MemoryThermal, error) {
+	fp, err := o.Floorplan()
+	if err != nil {
+		return MemoryThermal{}, err
+	}
+	opt := thermal.StackOptions{Nx: grid, Ny: grid}
+	nx, ny := gridOrDefault(grid)
+
+	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
+	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
+
+	var stack *thermal.Stack
+	if fp.Dies == 1 {
+		stack = thermal.PlanarStack(fp.DieW, fp.DieH, cpuMap, opt)
+	} else {
+		memMap := fp.PowerMapCentered(1, nx, ny, pkgW, pkgH)
+		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
+			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
+	}
+	field, err := thermal.Solve(stack, thermal.SolveOptions{})
+	if err != nil {
+		return MemoryThermal{}, err
+	}
+	die := thermal.CenteredDie(stack.Width, stack.Height, fp.DieW, fp.DieH)
+	li := stack.LayerIndex("active")
+	if li < 0 {
+		li = stack.LayerIndex("active #1")
+	}
+	return MemoryThermal{
+		Option:      o,
+		PeakC:       field.Peak(),
+		MinC:        field.LayerPeakMinIn(li, die),
+		TotalPowerW: fp.TotalPower(),
+	}, nil
+}
+
+// RunMemoryThermalMap solves one option's stack and returns the CPU
+// active layer's lateral temperature map — Figure 8(b) is this map for
+// the 32 MB configuration. grid <= 0 selects the default resolution.
+func RunMemoryThermalMap(o MemoryOption, grid int) ([][]float64, error) {
+	fp, err := o.Floorplan()
+	if err != nil {
+		return nil, err
+	}
+	opt := thermal.StackOptions{Nx: grid, Ny: grid}
+	nx, ny := gridOrDefault(grid)
+	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
+	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
+
+	var stack *thermal.Stack
+	if fp.Dies == 1 {
+		stack = thermal.PlanarStack(fp.DieW, fp.DieH, cpuMap, opt)
+	} else {
+		memMap := fp.PowerMapCentered(1, nx, ny, pkgW, pkgH)
+		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
+			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
+	}
+	field, err := thermal.Solve(stack, thermal.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	li := stack.LayerIndex("active")
+	if li < 0 {
+		li = stack.LayerIndex("active #1")
+	}
+	return field.LayerMap(li), nil
+}
+
+// RunFigure8 solves all four options (Figure 8a).
+func RunFigure8(grid int) ([]MemoryThermal, error) {
+	out := make([]MemoryThermal, 0, 4)
+	for _, o := range MemoryOptions() {
+		r, err := RunMemoryThermal(o, grid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func gridOrDefault(grid int) (int, int) {
+	if grid <= 0 {
+		return 64, 64
+	}
+	return grid, grid
+}

@@ -1,0 +1,23 @@
+package dram
+
+import "testing"
+
+func BenchmarkAccessRowHit(b *testing.B) {
+	d := New(Config{Banks: 16, PageBytes: 512, Timing: PaperTiming(), RowBuffers: 16})
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(now, uint64(i%8)*64, false)
+		now += 8
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	d := New(Config{Banks: 16, PageBytes: 512, Timing: PaperTiming(), RowBuffers: 16})
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(now, uint64(i)*64, false)
+		now += 8
+	}
+}

@@ -1,0 +1,241 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func stackedCfg() Config {
+	return Config{Banks: 16, PageBytes: 512, Timing: PaperTiming()}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"good", stackedCfg(), true},
+		{"zero banks", Config{Banks: 0, PageBytes: 512, Timing: PaperTiming()}, false},
+		{"non-pow2 banks", Config{Banks: 12, PageBytes: 512, Timing: PaperTiming()}, false},
+		{"zero page", Config{Banks: 16, PageBytes: 0, Timing: PaperTiming()}, false},
+		{"non-pow2 page", Config{Banks: 16, PageBytes: 500, Timing: PaperTiming()}, false},
+		{"negative latency", Config{Banks: 16, PageBytes: 512, Timing: Timing{Read: -1}}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPaperTiming(t *testing.T) {
+	tm := PaperTiming()
+	if tm.PageOpen != 50 || tm.Precharge != 54 || tm.Read != 50 {
+		t.Fatalf("PaperTiming = %+v, want 50/54/50", tm)
+	}
+}
+
+func TestRowOutcomes(t *testing.T) {
+	d := New(stackedCfg())
+
+	// Cold access: bank closed -> activate + read = 100.
+	done, res := d.Access(0, 0x0000, false)
+	if res != RowClosed || done != 100 {
+		t.Fatalf("cold: res=%v done=%d, want row-closed 100", res, done)
+	}
+
+	// Same page, after bank free: row hit, read only = 50.
+	done, res = d.Access(100, 0x0040, false)
+	if res != RowHit || done != 150 {
+		t.Fatalf("hit: res=%v done=%d, want row-hit 150", res, done)
+	}
+
+	// Same bank, different row: page 25 hashes to bank 0 like page 0
+	// (under the Fibonacci row permutation).
+	done, res = d.Access(150, 25*512, false)
+	if res != RowConflict || done != 150+54+50+50 {
+		t.Fatalf("conflict: res=%v done=%d, want row-conflict %d", res, done, 150+54+50+50)
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	d := New(stackedCfg())
+	// Two back-to-back requests to the same bank at the same time: the
+	// second waits for the first.
+	done1, _ := d.Access(0, 0, false)
+	done2, res := d.Access(0, 64, false)
+	if done1 != 100 {
+		t.Fatalf("done1=%d", done1)
+	}
+	// The first access occupies the bank for activate (50) plus the
+	// burst (8); the queued row hit then starts at 58 and completes at
+	// 58 + 50 = 108, pipelined behind the first.
+	if res != RowHit || done2 != 108 {
+		t.Fatalf("queued: res=%v done=%d, want row-hit 108", res, done2)
+	}
+	if w := d.Stats().BankWait; w != 58 {
+		t.Fatalf("BankWait=%d, want 58", w)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	d := New(stackedCfg())
+	// Requests to different banks at the same instant do not queue.
+	done1, _ := d.Access(0, 0, false)
+	done2, _ := d.Access(0, 512, false) // next page -> next bank
+	if done1 != 100 || done2 != 100 {
+		t.Fatalf("parallel banks: done1=%d done2=%d, want 100/100", done1, done2)
+	}
+	if d.Stats().BankWait != 0 {
+		t.Fatalf("unexpected bank wait %d", d.Stats().BankWait)
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	d := New(stackedCfg())
+	// Within a page, the bank does not change.
+	if d.Bank(0) != d.Bank(511) {
+		t.Error("bank changed within a page")
+	}
+	// Sixteen consecutive pages spread across all sixteen banks.
+	seen := make(map[int]bool)
+	for i := 0; i < 16; i++ {
+		seen[d.Bank(uint64(i)*512)] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("16 consecutive pages hit only %d banks", len(seen))
+	}
+	// Structures based at large power-of-two offsets must not all land
+	// on bank 0 (the row bits are folded into the bank index).
+	banks := make(map[int]bool)
+	for r := 0; r < 8; r++ {
+		banks[d.Bank(uint64(r)<<30)] = true
+	}
+	if len(banks) < 4 {
+		t.Errorf("1GB-aligned bases map to only %d banks; hashing missing", len(banks))
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	cfg := stackedCfg()
+	cfg.Overhead = 92
+	d := New(cfg)
+	done, res := d.Access(0, 0, false)
+	if res != RowClosed || done != 192 {
+		t.Fatalf("with overhead: done=%d, want 192 (DDR-like)", done)
+	}
+	// Overhead applies to the requester's completion, not bank busy
+	// time: an immediate row hit behind it still costs only 50 + 92.
+	done, _ = d.Access(100, 64, false)
+	if done != 100+50+92 {
+		t.Fatalf("hit with overhead: done=%d, want %d", done, 100+50+92)
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	d := New(stackedCfg())
+	if d.UncontendedLatency(RowHit) != 50 {
+		t.Error("hit latency")
+	}
+	if d.UncontendedLatency(RowClosed) != 100 {
+		t.Error("closed latency")
+	}
+	if d.UncontendedLatency(RowConflict) != 154 {
+		t.Error("conflict latency")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New(stackedCfg())
+	d.Access(0, 0, false)         // closed
+	d.Access(200, 64, false)      // hit
+	d.Access(400, 25*512, true)   // same bank, new row: conflict
+	d.Access(1000, 25*512, false) // hit
+	s := d.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Closed != 1 || s.Conflicts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r := s.RowHitRate(); r != 0.5 {
+		t.Fatalf("RowHitRate = %v, want 0.5", r)
+	}
+	d.ResetStats()
+	if d.Stats().Accesses != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+	// Bank state survives reset: next access to same row is a hit.
+	if _, res := d.Access(2000, 25*512+64, false); res != RowHit {
+		t.Fatal("ResetStats disturbed bank state")
+	}
+}
+
+func TestRowHitRateEmpty(t *testing.T) {
+	if (Stats{}).RowHitRate() != 0 {
+		t.Fatal("empty RowHitRate should be 0")
+	}
+}
+
+func TestRowResultString(t *testing.T) {
+	for _, c := range []struct {
+		r RowResult
+		s string
+	}{{RowHit, "row-hit"}, {RowClosed, "row-closed"}, {RowConflict, "row-conflict"}} {
+		if c.r.String() != c.s {
+			t.Errorf("%d.String() = %q", c.r, c.r.String())
+		}
+	}
+	if !strings.Contains(RowResult(7).String(), "7") {
+		t.Error("unknown RowResult should include value")
+	}
+}
+
+// Property: completion time is always >= issue time + minimum CAS, and
+// time never goes backwards for a single bank's consecutive requests.
+func TestMonotoneCompletionQuick(t *testing.T) {
+	d := New(stackedCfg())
+	now := int64(0)
+	f := func(addrRaw uint32, gap uint8) bool {
+		addr := uint64(addrRaw)
+		now += int64(gap)
+		done, _ := d.Access(now, addr, false)
+		return done >= now+d.Config().Timing.Read
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-bank busy intervals never overlap — replay a random
+// request sequence and check each bank's completion times are strictly
+// increasing in issue order.
+func TestPerBankSerializationQuick(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		d := New(stackedCfg())
+		last := make(map[int]int64)
+		now := int64(0)
+		for _, a := range addrs {
+			addr := uint64(a) * 64
+			bk := d.Bank(addr)
+			done, _ := d.Access(now, addr, false)
+			if prev, ok := last[bk]; ok && done <= prev {
+				return false
+			}
+			last[bk] = done
+			now += 3
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package floorplan
+
+import "testing"
+
+func BenchmarkPowerMapRaster(b *testing.B) {
+	fp := Core2DuoPlanar()
+	for i := 0; i < b.N; i++ {
+		pm := fp.PowerMap(0, 64, 64)
+		if pm.Total() < 91 {
+			b.Fatal("power lost")
+		}
+	}
+}
+
+func BenchmarkAutoFold(b *testing.B) {
+	planar := Pentium4Planar()
+	opt := FoldOptions{
+		DensityTarget: 1.35,
+		PowerFactor:   Pentium4ThreeDPowerFactor,
+		CriticalNets:  []Net{{A: "D$", B: "F"}, {A: "RF", B: "FP"}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AutoFold(planar, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package memhier
+
+import (
+	"testing"
+
+	"diestack/internal/trace"
+)
+
+func replayBench(b *testing.B, cfg Config) {
+	b.Helper()
+	recs := make([]trace.Record, 200_000)
+	for i := range recs {
+		recs[i] = trace.Record{
+			ID: uint64(i), Dep: trace.NoDep, Addr: uint64(i*67) % (24 << 20),
+			CPU: uint8(i % 2), Kind: trace.Load, Reps: 7,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(trace.NewSliceStream(recs), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+func BenchmarkReplaySRAM(b *testing.B) { replayBench(b, BaselineConfig()) }
+func BenchmarkReplayDRAM(b *testing.B) { replayBench(b, StackedDRAMConfig(32)) }

@@ -1,0 +1,126 @@
+package memhier
+
+import (
+	"diestack/internal/cache"
+	"diestack/internal/dram"
+)
+
+// The paper's machine parameters (Table 3), expressed as configuration
+// constructors. All latencies are core cycles at the assumed 3.2 GHz
+// clock; the 16 GB/s off-die bus therefore moves 5 bytes per cycle.
+const (
+	// DefaultCoreGHz is the assumed core clock for converting cycles
+	// to seconds when reporting bandwidth.
+	DefaultCoreGHz = 3.2
+	// DefaultBusBytesPerCycle realizes the paper's 16 GB/s off-die bus.
+	DefaultBusBytesPerCycle = 5.0
+	// DefaultBusPicoJoulePerBit realizes the paper's 20 mW/Gb/s bus
+	// power assumption.
+	DefaultBusPicoJoulePerBit = 20.0
+)
+
+// l1Config returns the Table 3 first-level cache: 32 KB, 64 B line,
+// 8-way, 4 cycles.
+func l1Config() cache.Config {
+	return cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: 4}
+}
+
+// mainMemoryConfig returns the Table 3 DDR main memory: 16 banks, 4 KB
+// pages, paper bank delays, and an interface overhead chosen so that a
+// page-open access totals the paper's 192 cycles (50 open + 50 read +
+// 92 interface).
+func mainMemoryConfig() dram.Config {
+	return dram.Config{
+		Banks:        16,
+		PageBytes:    4 << 10,
+		Timing:       dram.PaperTiming(),
+		Overhead:     92,
+		PostedWrites: true,
+	}
+}
+
+// stackedDRAMArray returns the stacked DRAM cache data array: 512 B
+// pages, 16 address-interleaved banks, paper bank delays, and no
+// interface overhead — the die-to-die vias behave like on-die wire
+// (the paper: d2d RC is ~1/3 of a full via stack).
+func stackedDRAMArray() dram.Config {
+	t := dram.PaperTiming()
+	// The die-to-die via interface is far wider than an off-die bus
+	// (the paper: d2d vias have on-die-via electrical characteristics),
+	// so a 64 B transfer holds the bank for half the off-die burst.
+	t.Burst = 4
+	return dram.Config{
+		Banks:        16,
+		PageBytes:    512,
+		Timing:       t,
+		RowBuffers:   16,
+		PostedWrites: true,
+	}
+}
+
+func base() Config {
+	return Config{
+		Cores:              2,
+		L1I:                l1Config(),
+		L1D:                l1Config(),
+		Memory:             mainMemoryConfig(),
+		BusBytesPerCycle:   DefaultBusBytesPerCycle,
+		CoreGHz:            DefaultCoreGHz,
+		BusPicoJoulePerBit: DefaultBusPicoJoulePerBit,
+	}
+}
+
+// BaselineConfig is the planar Intel Core 2 Duo-class machine: two
+// cores sharing a 4 MB, 16-way, 16-cycle SRAM L2 (Figure 4 / Table 3).
+func BaselineConfig() Config {
+	c := base()
+	c.L2 = cache.Config{SizeBytes: 4 << 20, LineBytes: 64, Ways: 16, Latency: 16}
+	c.L2Type = L2SRAM
+	return c
+}
+
+// Stacked12MBConfig is stacking option (b): 8 MB of SRAM stacked on the
+// baseline for a 12 MB, 24-cycle L2.
+func Stacked12MBConfig() Config {
+	c := base()
+	c.L2 = cache.Config{SizeBytes: 12 << 20, LineBytes: 64, Ways: 24, Latency: 24}
+	c.L2Type = L2SRAM
+	return c
+}
+
+// StackedDRAMConfig is stacking options (c)/(d): a stacked DRAM L2 of
+// sizeMB megabytes (4–64 in the paper's sweep) with 512 B pages, 64 B
+// sectors, 16 banks, and on-die SRAM tags. Tag latency matches the
+// baseline L2 tag path (16 cycles); access latency then grows with
+// capacity through DRAM bank behaviour, matching the paper's "cache
+// access latencies increase with cache size".
+func StackedDRAMConfig(sizeMB int) Config {
+	c := base()
+	c.L2 = cache.Config{
+		SizeBytes:   uint64(sizeMB) << 20,
+		LineBytes:   512,
+		Ways:        16,
+		Latency:     16,
+		SectorBytes: 64,
+	}
+	c.L2Type = L2DRAM
+	c.DRAMArray = stackedDRAMArray()
+	return c
+}
+
+// ConfigByCapacity returns the paper's Figure 5 sweep configuration
+// for a last-level capacity in MB: 4 (planar SRAM baseline), 12
+// (stacked SRAM), or 32/64 (stacked DRAM). Other DRAM capacities in
+// 4..64 MB are also accepted for sensitivity studies.
+func ConfigByCapacity(mb int) (Config, bool) {
+	switch mb {
+	case 4:
+		return BaselineConfig(), true
+	case 12:
+		return Stacked12MBConfig(), true
+	case 8, 16, 32, 64:
+		return StackedDRAMConfig(mb), true
+	default:
+		return Config{}, false
+	}
+}

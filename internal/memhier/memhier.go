@@ -1,0 +1,514 @@
+// Package memhier implements the trace-driven multi-processor memory
+// hierarchy simulator used for the Memory+Logic stacking study
+// (Section 3 of the paper).
+//
+// The simulator replays dependency-annotated memory traces against a
+// two-level hierarchy: per-core L1 instruction/data caches, a shared
+// second-level cache (planar SRAM, stacked SRAM, or stacked DRAM with
+// on-die tags), an off-die bus with finite bandwidth, and banked DDR
+// main memory. It honors the dependency field of every trace record —
+// a record is not issued before the record it depends on completes —
+// and reports the paper's metrics: cycles per memory access (CPMA),
+// off-die bandwidth, and bus power.
+package memhier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"diestack/internal/cache"
+	"diestack/internal/dram"
+	"diestack/internal/stats"
+	"diestack/internal/trace"
+)
+
+// L2Kind selects the shared second-level cache implementation.
+type L2Kind uint8
+
+const (
+	// L2SRAM is a conventional SRAM L2 with a fixed hit latency.
+	L2SRAM L2Kind = iota
+	// L2DRAM is a stacked DRAM cache: on-die SRAM tags plus a banked
+	// DRAM data array reached over die-to-die vias.
+	L2DRAM
+)
+
+// String names the L2 kind.
+func (k L2Kind) String() string {
+	switch k {
+	case L2SRAM:
+		return "sram"
+	case L2DRAM:
+		return "dram"
+	default:
+		return fmt.Sprintf("L2Kind(%d)", uint8(k))
+	}
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of logical processors issuing references.
+	Cores int
+	// L1I and L1D are the per-core first-level caches.
+	L1I, L1D cache.Config
+	// L2 is the shared second-level cache geometry. For L2DRAM the
+	// Latency field is the on-die tag lookup latency; the data access
+	// goes through DRAMArray.
+	L2 cache.Config
+	// L2Type selects SRAM or stacked-DRAM L2.
+	L2Type L2Kind
+	// DRAMArray is the stacked DRAM data array (only for L2DRAM).
+	DRAMArray dram.Config
+	// Memory is the DDR main memory device; its Overhead models the
+	// off-die interface so that a page-open access totals the paper's
+	// 192 cycles.
+	Memory dram.Config
+	// BusBytesPerCycle is the off-die bus bandwidth in bytes per core
+	// cycle (16 GB/s at 3.2 GHz = 5 B/cycle).
+	BusBytesPerCycle float64
+	// CoreGHz converts cycles to wall time for bandwidth reporting.
+	CoreGHz float64
+	// BusPicoJoulePerBit prices off-die bus traffic. The paper assumes
+	// 20 mW per Gb/s, i.e. 20 pJ per bit.
+	BusPicoJoulePerBit float64
+	// MaxOutstanding bounds the number of in-flight L1 misses per core
+	// (the MSHR limit). Zero selects DefaultMaxOutstanding.
+	MaxOutstanding int
+	// WindowRecords bounds how far a core's issue can run ahead of an
+	// incomplete older record (the reorder-buffer depth, in trace
+	// records). Zero selects DefaultWindowRecords.
+	WindowRecords int
+}
+
+// DefaultMaxOutstanding is the per-core in-flight miss limit used when
+// Config.MaxOutstanding is zero, sized like a Core-2-era machine.
+const DefaultMaxOutstanding = 12
+
+// DefaultWindowRecords is the per-core reorder window used when
+// Config.WindowRecords is zero. References issue out of order past a
+// stalled dependent access until the window fills.
+const DefaultWindowRecords = 48
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 255 {
+		return fmt.Errorf("memhier: Cores must be in [1,255], got %d", c.Cores)
+	}
+	for _, sub := range []struct {
+		name string
+		cfg  cache.Config
+	}{{"L1I", c.L1I}, {"L1D", c.L1D}, {"L2", c.L2}} {
+		if err := sub.cfg.Validate(); err != nil {
+			return fmt.Errorf("memhier: %s: %w", sub.name, err)
+		}
+	}
+	if c.L2Type == L2DRAM {
+		if err := c.DRAMArray.Validate(); err != nil {
+			return fmt.Errorf("memhier: DRAMArray: %w", err)
+		}
+	}
+	if err := c.Memory.Validate(); err != nil {
+		return fmt.Errorf("memhier: Memory: %w", err)
+	}
+	if c.BusBytesPerCycle <= 0 {
+		return fmt.Errorf("memhier: BusBytesPerCycle must be positive, got %v", c.BusBytesPerCycle)
+	}
+	if c.CoreGHz <= 0 {
+		return fmt.Errorf("memhier: CoreGHz must be positive, got %v", c.CoreGHz)
+	}
+	if c.BusPicoJoulePerBit < 0 {
+		return fmt.Errorf("memhier: negative BusPicoJoulePerBit")
+	}
+	if c.MaxOutstanding < 0 {
+		return fmt.Errorf("memhier: negative MaxOutstanding")
+	}
+	if c.WindowRecords < 0 {
+		return fmt.Errorf("memhier: negative WindowRecords")
+	}
+	return nil
+}
+
+// maxOutstanding resolves the configured or default MSHR limit.
+func (c Config) maxOutstanding() int {
+	if c.MaxOutstanding > 0 {
+		return c.MaxOutstanding
+	}
+	return DefaultMaxOutstanding
+}
+
+// windowRecords resolves the configured or default reorder window.
+func (c Config) windowRecords() int {
+	if c.WindowRecords > 0 {
+		return c.WindowRecords
+	}
+	return DefaultWindowRecords
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Records is the number of trace records replayed.
+	Records uint64
+	// Refs is the number of memory references the records represent
+	// (records plus their same-line repeats).
+	Refs uint64
+	// Cycles is the wall-clock cycle at which the last reference
+	// completed.
+	Cycles int64
+	// CPMA is cycles per memory access — wall-clock cycles divided by
+	// the reference count, the paper's headline metric. With two cores
+	// each issuing one reference per cycle its floor is 0.5.
+	CPMA float64
+	// RepHits counts the same-line repeat accesses replayed as L1 hits.
+	RepHits uint64
+	// AvgLatency is the mean issue-to-completion latency of a
+	// reference in cycles.
+	AvgLatency float64
+	// LatencyP50, LatencyP95 and LatencyP99 are quantiles of the
+	// per-record issue-to-completion latency (histogram-approximated;
+	// repeats excluded).
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// OffDieBytes counts all traffic over the off-die bus (fills +
+	// writebacks).
+	OffDieBytes uint64
+	// BandwidthGBs is the average off-die bandwidth in GB/s.
+	BandwidthGBs float64
+	// BusPowerW is the average bus power implied by the traffic.
+	BusPowerW float64
+	// Cache and device statistics.
+	L1I, L1D, L2 cache.Stats
+	DRAMCache    dram.Stats
+	Memory       dram.Stats
+	// Invalidations counts cross-core L1 coherence invalidations.
+	Invalidations uint64
+}
+
+// Simulator replays traces against one machine configuration. It is
+// not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	cfg  Config
+	l1i  []*cache.Cache
+	l1d  []*cache.Cache
+	l2   *cache.Cache
+	darr *dram.Device // stacked DRAM data array, nil for SRAM L2
+	mem  *dram.Device
+
+	busFree     int64
+	offDieBytes uint64
+	invals      uint64
+	repHits     uint64
+	latencies   *stats.Histogram
+}
+
+// New builds a simulator, returning an error for invalid configs.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg}
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1i = append(s.l1i, cache.New(cfg.L1I))
+		s.l1d = append(s.l1d, cache.New(cfg.L1D))
+	}
+	s.l2 = cache.New(cfg.L2)
+	if cfg.L2Type == L2DRAM {
+		s.darr = dram.New(cfg.DRAMArray)
+	}
+	s.mem = dram.New(cfg.Memory)
+	// One-cycle buckets through the L2 range, coarser beyond; 0..2048
+	// covers everything up to several memory round trips.
+	s.latencies = stats.NewHistogram(0, 2048, 512)
+	return s, nil
+}
+
+// Config returns the machine configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Run replays the stream to completion (or limit records, if limit>0)
+// and returns the aggregated result.
+func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
+	slot := make([]int64, s.cfg.Cores) // per-core program-order issue slot
+	// Completion times are kept in a sliding window keyed by record id.
+	// Dependencies in real traces reach back a bounded distance; a
+	// reference older than the window completed long before the
+	// dependent record can issue, so a window miss is treated as
+	// already complete. This bounds memory for billion-record traces.
+	const depWindow = 1 << 20
+	doneID := make([]uint64, depWindow)
+	doneAt := make([]int64, depWindow)
+	for i := range doneID {
+		doneID[i] = ^uint64(0)
+	}
+	// Per-core MSHR ring: the completion times of the last M in-flight
+	// misses. A new reference cannot issue until the M-th previous miss
+	// has completed, bounding memory-level parallelism the way a real
+	// core's miss queue and reorder buffer do.
+	mshrN := s.cfg.maxOutstanding()
+	mshr := make([][]int64, s.cfg.Cores)
+	mshrPos := make([]int, s.cfg.Cores)
+	for i := range mshr {
+		mshr[i] = make([]int64, mshrN)
+	}
+	// Per-core reorder window: a record cannot issue until the record
+	// WindowRecords older than it has completed. Independent records
+	// issue out of order past a stalled dependence up to this depth.
+	robN := s.cfg.windowRecords()
+	rob := make([][]int64, s.cfg.Cores)
+	robPos := make([]int, s.cfg.Cores)
+	for i := range rob {
+		rob[i] = make([]int64, robN)
+	}
+	l1Lat := s.cfg.L1D.Latency
+
+	var records, refs uint64
+	var wall int64
+	var sumLat int64
+
+	for {
+		if limit > 0 && records >= uint64(limit) {
+			break
+		}
+		rec, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("memhier: reading trace: %w", err)
+		}
+		if int(rec.CPU) >= s.cfg.Cores {
+			return Result{}, fmt.Errorf("memhier: record %d names cpu %d but machine has %d cores",
+				rec.ID, rec.CPU, s.cfg.Cores)
+		}
+		cpu := int(rec.CPU)
+
+		issue := slot[cpu]
+		if rec.HasDep() {
+			w := rec.Dep % depWindow
+			if doneID[w] == rec.Dep && doneAt[w] > issue {
+				issue = doneAt[w]
+			}
+		}
+		if oldest := mshr[cpu][mshrPos[cpu]]; oldest > issue {
+			issue = oldest
+		}
+		if oldest := rob[cpu][robPos[cpu]]; oldest > issue {
+			issue = oldest
+		}
+
+		completion := s.access(issue, cpu, rec.Addr, rec.Kind)
+		if completion-issue > l1Lat {
+			// The reference went past the L1: it held a miss slot.
+			mshr[cpu][mshrPos[cpu]] = completion
+			mshrPos[cpu] = (mshrPos[cpu] + 1) % mshrN
+		}
+
+		s.latencies.Add(float64(completion - issue))
+
+		// Replay the same-line repeats as back-to-back L1 hits: one
+		// issue slot each, completing L1-latency later. The program
+		// slot advances one cycle per reference; dependence stalls do
+		// not drag it forward — younger independent records may issue
+		// at their own slots (out-of-order issue within the window).
+		reps := int64(rec.Reps)
+		slot[cpu] += 1 + reps
+		refs += uint64(1 + reps)
+		sumLat += (completion - issue) + reps*l1Lat
+		s.repHits += uint64(reps)
+		repDone := issue + reps + l1Lat
+		if repDone > completion {
+			completion = repDone
+		}
+
+		rob[cpu][robPos[cpu]] = completion
+		robPos[cpu] = (robPos[cpu] + 1) % robN
+
+		w := rec.ID % depWindow
+		doneID[w] = rec.ID
+		doneAt[w] = completion
+		if completion > wall {
+			wall = completion
+		}
+		records++
+	}
+
+	if refs == 0 {
+		return Result{}, nil
+	}
+
+	res := Result{
+		Records:       records,
+		Refs:          refs,
+		Cycles:        wall,
+		CPMA:          float64(wall) / float64(refs),
+		AvgLatency:    float64(sumLat) / float64(refs),
+		LatencyP50:    s.latencies.Quantile(0.50),
+		LatencyP95:    s.latencies.Quantile(0.95),
+		LatencyP99:    s.latencies.Quantile(0.99),
+		OffDieBytes:   s.offDieBytes,
+		L2:            s.l2.Stats(),
+		Memory:        s.mem.Stats(),
+		Invalidations: s.invals,
+		RepHits:       s.repHits,
+	}
+	for i := 0; i < s.cfg.Cores; i++ {
+		res.L1I = addCacheStats(res.L1I, s.l1i[i].Stats())
+		res.L1D = addCacheStats(res.L1D, s.l1d[i].Stats())
+	}
+	if s.darr != nil {
+		res.DRAMCache = s.darr.Stats()
+	}
+	seconds := float64(wall) / (s.cfg.CoreGHz * 1e9)
+	if seconds > 0 {
+		res.BandwidthGBs = float64(s.offDieBytes) / seconds / 1e9
+	}
+	// pJ/bit x bits/s = pW; x1e-12 = W. GB/s x 8e9 = bits/s.
+	res.BusPowerW = s.cfg.BusPicoJoulePerBit * res.BandwidthGBs * 8e9 * 1e-12
+	return res, nil
+}
+
+func addCacheStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Accesses:    a.Accesses + b.Accesses,
+		Hits:        a.Hits + b.Hits,
+		SectorMiss:  a.SectorMiss + b.SectorMiss,
+		LineMiss:    a.LineMiss + b.LineMiss,
+		Evictions:   a.Evictions + b.Evictions,
+		Writebacks:  a.Writebacks + b.Writebacks,
+		Invalidates: a.Invalidates + b.Invalidates,
+	}
+}
+
+// access services one reference beginning at cycle now and returns the
+// completion cycle.
+func (s *Simulator) access(now int64, cpu int, addr uint64, kind trace.Kind) int64 {
+	l1 := s.l1d[cpu]
+	if kind == trace.Ifetch {
+		l1 = s.l1i[cpu]
+	}
+	write := kind == trace.Store
+
+	if write {
+		s.invalidateOthers(cpu, addr, now)
+	}
+
+	out := l1.Access(addr, write)
+	t := now + l1.Config().Latency
+	if out.Hit {
+		return t
+	}
+	// A displaced dirty L1 line is written back into the shared L2
+	// off the critical path.
+	if out.Evicted != nil && out.Evicted.Dirty {
+		s.l2Access(t, out.Evicted.Addr, true)
+	}
+	return s.l2Access(t, addr, false)
+}
+
+// invalidateOthers performs the cross-core coherence action for a
+// store: every other core's L1D copy of the line is invalidated, and a
+// dirty copy is flushed into the shared L2 first (off the critical
+// path of the store itself).
+func (s *Simulator) invalidateOthers(cpu int, addr uint64, now int64) {
+	for i, other := range s.l1d {
+		if i == cpu {
+			continue
+		}
+		if ev := other.Invalidate(addr); ev != nil {
+			s.invals++
+			if ev.Dirty {
+				s.l2Access(now, ev.Addr, true)
+			}
+		}
+	}
+}
+
+// l2Access reads (fill request) or writes (L1 writeback) the shared L2
+// at time t, returning the completion cycle.
+func (s *Simulator) l2Access(t int64, addr uint64, write bool) int64 {
+	out := s.l2.Access(addr, write)
+	tagDone := t + s.l2.Config().Latency
+
+	if s.cfg.L2Type == L2SRAM {
+		if out.Hit {
+			return tagDone
+		}
+		s.handleL2Eviction(tagDone, out.Evicted)
+		// Fill the line from main memory over the bus.
+		return s.memAccess(tagDone, addr, false, s.cfg.L2.LineBytes)
+	}
+
+	// Stacked DRAM L2: tags live on the CPU die (tagDone covers the
+	// lookup); data lives in the stacked DRAM array.
+	switch {
+	case out.Hit:
+		// Tag lookup (on the CPU die) and DRAM row access (through the
+		// die-to-die vias) are overlapped, as in aggressive cache-DRAM
+		// designs; the access completes when both have.
+		dataDone, _ := s.darr.Access(t, addr, write)
+		if dataDone < tagDone {
+			dataDone = tagDone
+		}
+		return dataDone
+	case out.LineHit:
+		// Sector miss: fetch just the missing 64 B sector from memory,
+		// then deposit it in the DRAM array (deposit off critical path).
+		fill := s.memAccess(tagDone, addr, false, sectorBytes(s.cfg.L2))
+		s.darr.Access(fill, addr, true)
+		return fill
+	default:
+		s.handleL2Eviction(tagDone, out.Evicted)
+		fill := s.memAccess(tagDone, addr, false, sectorBytes(s.cfg.L2))
+		s.darr.Access(fill, addr, true)
+		return fill
+	}
+}
+
+// sectorBytes returns the fill granule for a cache: the sector size
+// when sectored, else the full line.
+func sectorBytes(c cache.Config) uint64 {
+	if c.SectorBytes != 0 {
+		return c.SectorBytes
+	}
+	return c.LineBytes
+}
+
+// handleL2Eviction writes dirty evicted data back to main memory.
+func (s *Simulator) handleL2Eviction(t int64, ev *cache.Eviction) {
+	if ev == nil || !ev.Dirty {
+		return
+	}
+	granule := sectorBytes(s.cfg.L2)
+	n := popcount(ev.DirtySectors)
+	if s.cfg.L2.SectorBytes == 0 {
+		n = 1
+	}
+	s.memAccess(t, ev.Addr, true, granule*uint64(n))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// memAccess moves nbytes over the off-die bus and accesses main
+// memory, returning the completion cycle. The bus is a shared FCFS
+// resource with finite bandwidth; transfers queue behind each other.
+func (s *Simulator) memAccess(t int64, addr uint64, write bool, nbytes uint64) int64 {
+	slot := int64(float64(nbytes)/s.cfg.BusBytesPerCycle + 0.5)
+	if slot < 1 {
+		slot = 1
+	}
+	start := t
+	if s.busFree > start {
+		start = s.busFree
+	}
+	s.busFree = start + slot
+	s.offDieBytes += nbytes
+
+	done, _ := s.mem.Access(start+slot, addr, write)
+	return done
+}

@@ -1,0 +1,32 @@
+package power_test
+
+import (
+	"fmt"
+
+	"diestack/internal/power"
+)
+
+// The Table 5 rows follow directly from the paper's conversion laws;
+// the Same Temp row additionally needs a thermal response, supplied
+// here as a linear stand-in.
+func ExampleLaws_Table5() {
+	laws := power.PaperLaws()
+	design := power.Pentium4ThreeDDesign()
+	threeDTemp := func(powerW float64) float64 { return 40 + 0.6*powerW }
+	baselineTemp := 40 + 0.4*147.0
+
+	rows, err := laws.Table5(design, threeDTemp, baselineTemp)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("%-11s %5.1f W  perf %3.0f%%  Vcc %.2f\n", r.Name, r.PowerW, r.PerfPct, r.Vcc)
+	}
+	// Output:
+	// Baseline    147.0 W  perf 100%  Vcc 1.00
+	// Same Pwr    147.0 W  perf 129%  Vcc 1.00
+	// Same Freq.  125.0 W  perf 115%  Vcc 1.00
+	// Same Temp    98.0 W  perf 109%  Vcc 0.92
+	// Same Perf.   68.2 W  perf 100%  Vcc 0.82
+}

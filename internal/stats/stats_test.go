@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams from distinct seeds coincide %d/100 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.08 {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(5)
+	const p = 0.25
+	sum := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-1/p) > 0.15 {
+		t.Errorf("Geometric(%v) mean = %v, want ~%v", p, mean, 1/p)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(9)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Errorf("Zipf not monotonically skewed: c0=%d c10=%d c50=%d",
+			counts[0], counts[10], counts[50])
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	// Sample variance of the classic dataset: population var is 4, so
+	// sample var is 4*8/7.
+	if want := 32.0 / 7; math.Abs(s.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), want)
+	}
+}
+
+func TestSummaryEmptySafe(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	_ = s.String()
+}
+
+func TestSummaryMeanPropertyQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		sum := 0.0
+		valid := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			valid++
+		}
+		if valid == 0 {
+			return s.N() == 0
+		}
+		want := sum / float64(valid)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(s.Mean()-want) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)  // clamps to bucket 0
+	h.Add(0.5) // bucket 0
+	h.Add(11)  // clamps to last bucket
+	h.Add(9.9) // last bucket
+	if h.Count(0) != 2 || h.Count(4) != 2 {
+		t.Errorf("clamping failed: c0=%d c4=%d", h.Count(0), h.Count(4))
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("Buckets = %d, want 5", h.Buckets())
+	}
+	if h.BucketLow(1) != 2 {
+		t.Errorf("BucketLow(1) = %v, want 2", h.BucketLow(1))
+	}
+}
+
+func TestHistogramTotalMatchesCountsQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		h := NewHistogram(-100, 100, 20)
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		var sum int64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && h.Total() == int64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if q := h.Quantile(0.5); q < 49 || q > 52 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if q := h.Quantile(0.99); q < 97 || q > 100 {
+		t.Errorf("p99 = %v, want ~99", q)
+	}
+	if q := h.Quantile(0); q > 1.1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		// zero-value histogram has no buckets; construct an empty one.
+		t.Skip()
+	}
+	empty := NewHistogram(0, 10, 5)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// Clamping.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping broken")
+	}
+}

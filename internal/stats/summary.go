@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a running mean/min/max/variance over float64
+// observations using Welford's online algorithm. The zero value is an
+// empty summary ready for use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the minimum observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// String formats the summary for logs and reports.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.StdDev())
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies and sorts its input.
+// It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// GeoMean returns the geometric mean of xs; all values must be > 0.
+// It panics on an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeoMean of empty slice")
+	}
+	sumLog := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean requires positive values")
+		}
+		sumLog += math.Log(x)
+	}
+	return math.Exp(sumLog / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram bins observations into fixed-width buckets over [lo, hi).
+// Observations outside the range clamp into the first/last bucket so
+// no sample is silently dropped.
+type Histogram struct {
+	lo, width float64
+	counts    []int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, width: (hi - lo) / float64(n), counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketLow returns the lower bound of bucket i.
+func (h *Histogram) BucketLow(i int) float64 { return h.lo + float64(i)*h.width }
+
+// Quantile returns the approximate q-quantile (q in [0,1]) of the
+// recorded observations: the value at the position within the bucket
+// where the cumulative count crosses q, linearly interpolated. It
+// returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.BucketLow(i) + frac*h.width
+		}
+		cum = next
+	}
+	return h.BucketLow(len(h.counts)-1) + h.width
+}

@@ -1,0 +1,37 @@
+package thermal
+
+import "testing"
+
+func benchStack(grid int) *Stack {
+	pm := NewPowerMap(grid, grid).FillRect(grid/4, grid/4, 3*grid/4, 3*grid/4, 92)
+	return PlanarStack(0.013, 0.011, pm, StackOptions{Nx: grid, Ny: grid})
+}
+
+func BenchmarkSolve32(b *testing.B) {
+	s := benchStack(32)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(s, SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve64(b *testing.B) {
+	s := benchStack(64)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(s, SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientStep(b *testing.B) {
+	s := benchStack(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveTransient(s, TransientOptions{Dt: 1, Steps: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(10, "steps/op")
+}

@@ -1,0 +1,117 @@
+// Package thermal implements the 3D steady-state heat-conduction
+// solver used for all of the paper's temperature results.
+//
+// The model mirrors Section 2.3: the die stack, package, socket and
+// motherboard are discretized into a finite-volume grid; Equation (1)
+// (conservation of energy with per-material conductivity and a power
+// source term) is solved for the steady state with the convective
+// boundary conditions of Equation (2) at the heat-sink and motherboard
+// surfaces. Material constants come from Table 2 of the paper.
+package thermal
+
+// Material is a homogeneous solid with an isotropic thermal
+// conductivity in W/(m·K). The paper's effective values already fold
+// via occupancy and low-k dielectrics into the layer conductivity.
+type Material struct {
+	Name string
+	// Conductivity in W/(m·K).
+	Conductivity float64
+	// HeatCapacity is the volumetric heat capacity in J/(m³·K), used
+	// by the transient solver; zero selects DefaultHeatCapacity.
+	HeatCapacity float64
+}
+
+// DefaultHeatCapacity (J/m³K) stands in for materials that do not
+// specify one; it is silicon's.
+const DefaultHeatCapacity = 1.63e6
+
+// heatCapacity resolves the material's volumetric heat capacity.
+func (m Material) heatCapacity() float64 {
+	if m.HeatCapacity > 0 {
+		return m.HeatCapacity
+	}
+	return DefaultHeatCapacity
+}
+
+// Table 2 materials, verbatim from the paper.
+var (
+	// Silicon is bulk Si (120 W/mK).
+	Silicon = Material{Name: "bulk Si", Conductivity: 120, HeatCapacity: 1.63e6}
+	// CuMetal is the logic metal stack: Cu wiring plus low-k
+	// dielectric, effective 12 W/mK.
+	CuMetal = Material{Name: "Cu metal layers", Conductivity: 12, HeatCapacity: 2.2e6}
+	// AlMetal is the DRAM metal stack: Al wiring plus dielectric,
+	// effective 9 W/mK.
+	AlMetal = Material{Name: "Al metal layers", Conductivity: 9, HeatCapacity: 2.0e6}
+	// BondLayer is the die-to-die bonding layer including air cavities
+	// and d2d interconnect, effective 60 W/mK.
+	BondLayer = Material{Name: "bonding layer", Conductivity: 60, HeatCapacity: 2.1e6}
+	// HeatSinkMetal is the heat sink body. The Table 2 value (400
+	// W/mK) describes the base metal; the model collapses the full fin
+	// volume into a 5 mm slab, so the slab gets an effective lateral
+	// conductivity several times the base metal's to reproduce the fin
+	// array's spreading.
+	HeatSinkMetal = Material{Name: "heat sink", Conductivity: 2400, HeatCapacity: 2.4e6}
+)
+
+// Supporting materials for the rest of the Figure 2 assembly. These do
+// not appear in Table 2; values are standard for desktop packages of
+// the period.
+var (
+	// CopperIHS is the integrated heat spreader.
+	CopperIHS = Material{Name: "IHS", Conductivity: 390, HeatCapacity: 3.44e6}
+	// TIM is thermal interface material (grease/solder hybrid).
+	TIM = Material{Name: "TIM", Conductivity: 8, HeatCapacity: 2.0e6}
+	// Underfill is the C4 bump / underfill composite.
+	Underfill = Material{Name: "C4/underfill", Conductivity: 2, HeatCapacity: 1.8e6}
+	// PackageSub is the organic package substrate.
+	PackageSub = Material{Name: "package substrate", Conductivity: 3, HeatCapacity: 1.6e6}
+	// Socket is the LGA socket body.
+	Socket = Material{Name: "socket", Conductivity: 0.5, HeatCapacity: 1.5e6}
+	// Motherboard is FR4 board with copper planes, effective.
+	Motherboard = Material{Name: "motherboard", Conductivity: 1.2, HeatCapacity: 1.8e6}
+	// EpoxyFill is the fillet/mold compound surrounding a die that is
+	// smaller than the package column (the paper's Figure 6 notes the
+	// edge temperature drop from the epoxy fillet around the die).
+	EpoxyFill = Material{Name: "epoxy fill", Conductivity: 0.8, HeatCapacity: 1.8e6}
+)
+
+// Table 2 geometry constants, in meters.
+const (
+	// Si1Thickness is the bulk Si of the die next to the heat sink.
+	Si1Thickness = 750e-6
+	// Si2Thickness is the (thinned) bulk Si of the die next to the
+	// C4 bumps.
+	Si2Thickness = 20e-6
+	// CuMetalThickness is the logic metal stack.
+	CuMetalThickness = 12e-6
+	// AlMetalThickness is the DRAM metal stack.
+	AlMetalThickness = 2e-6
+	// BondThickness is the die-to-die bonding layer.
+	BondThickness = 15e-6
+	// ActiveThickness is the transistor layer where power dissipates;
+	// a thin slab at the silicon/metal interface.
+	ActiveThickness = 2e-6
+)
+
+// AmbientC is the Table 2 ambient temperature in Celsius.
+const AmbientC = 40.0
+
+// Convection coefficients for the two boundary surfaces, W/(m²·K).
+// TopH models the entire fin array + forced airflow of the heat sink
+// collapsed onto the sink's base area (the model is a die-sized
+// column, so the fin area multiplication folds into the coefficient:
+// an effective 0.3-0.4 K/W sink over ~1.4 cm² is ~20000 W/m²K).
+// BottomH models natural convection off the motherboard. TopH is
+// calibrated so the planar 92 W Core-2-class reference lands at the
+// paper's 88.35 degC peak (Figure 6).
+const (
+	DefaultTopH    = 7960.0
+	DefaultBottomH = 10.0
+)
+
+// PerformanceTopH is the effective film coefficient of the
+// higher-performance cooler used for the Logic+Logic (Pentium 4-class,
+// 147 W) study, calibrated so the planar baseline lands at the paper's
+// 98.6 degC peak (Figure 11).
+const PerformanceTopH = 18000.0

@@ -1,0 +1,106 @@
+package thermal
+
+import "fmt"
+
+// PowerMap is a lateral grid of dissipated power in watts per cell.
+// Active layers of a Stack carry one; the solver injects each cell's
+// wattage as a volumetric source.
+type PowerMap struct {
+	nx, ny int
+	w      []float64
+}
+
+// NewPowerMap creates an all-zero nx-by-ny power map.
+func NewPowerMap(nx, ny int) *PowerMap {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("thermal: invalid power map size %dx%d", nx, ny))
+	}
+	return &PowerMap{nx: nx, ny: ny, w: make([]float64, nx*ny)}
+}
+
+// Size returns the grid dimensions.
+func (p *PowerMap) Size() (nx, ny int) { return p.nx, p.ny }
+
+// At returns the power of cell (x, y) in watts.
+func (p *PowerMap) At(x, y int) float64 { return p.w[y*p.nx+x] }
+
+// Set assigns the power of cell (x, y) in watts.
+func (p *PowerMap) Set(x, y int, watts float64) { p.w[y*p.nx+x] = watts }
+
+// Add accumulates watts into cell (x, y).
+func (p *PowerMap) Add(x, y int, watts float64) { p.w[y*p.nx+x] += watts }
+
+// Total returns the map's total power in watts.
+func (p *PowerMap) Total() float64 {
+	sum := 0.0
+	for _, v := range p.w {
+		sum += v
+	}
+	return sum
+}
+
+// Scale multiplies every cell by f and returns the receiver.
+func (p *PowerMap) Scale(f float64) *PowerMap {
+	for i := range p.w {
+		p.w[i] *= f
+	}
+	return p
+}
+
+// Clone returns a deep copy.
+func (p *PowerMap) Clone() *PowerMap {
+	q := NewPowerMap(p.nx, p.ny)
+	copy(q.w, p.w)
+	return q
+}
+
+// FillUniform spreads total watts evenly over all cells and returns
+// the receiver.
+func (p *PowerMap) FillUniform(total float64) *PowerMap {
+	per := total / float64(len(p.w))
+	for i := range p.w {
+		p.w[i] = per
+	}
+	return p
+}
+
+// FillRect adds watts spread uniformly over the cell rectangle
+// [x0,x1) x [y0,y1), clipped to the grid. It returns the receiver.
+func (p *PowerMap) FillRect(x0, y0, x1, y1 int, watts float64) *PowerMap {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > p.nx {
+		x1 = p.nx
+	}
+	if y1 > p.ny {
+		y1 = p.ny
+	}
+	cells := (x1 - x0) * (y1 - y0)
+	if cells <= 0 {
+		return p
+	}
+	per := watts / float64(cells)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			p.w[y*p.nx+x] += per
+		}
+	}
+	return p
+}
+
+// MaxDensity returns the peak cell power divided by cell area, in
+// W/m², given the lateral dimensions the map covers.
+func (p *PowerMap) MaxDensity(width, height float64) float64 {
+	cellArea := (width / float64(p.nx)) * (height / float64(p.ny))
+	peak := 0.0
+	for _, v := range p.w {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak / cellArea
+}

@@ -1,0 +1,678 @@
+package thermal
+
+import "math"
+
+// SolveOptions tunes the solver. Zero values select the defaults.
+type SolveOptions struct {
+	// MaxCycles bounds the number of alternating-direction cycles
+	// (default 4000). One cycle is a z-, x-, and y-line sweep.
+	MaxCycles int
+	// Tolerance is the convergence threshold: the solution is accepted
+	// when the global energy imbalance |heat out - power in| drops
+	// below Tolerance times the injected power AND the per-cycle
+	// maximum temperature change is below 1e-4 K (default 1e-3).
+	Tolerance float64
+	// Omega over-relaxes the line updates, in (0,2) (default 1.8).
+	Omega float64
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 4000
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-3
+	}
+	if o.Omega == 0 {
+		o.Omega = 1.8
+	}
+	return o
+}
+
+// maxCellDZ subdivides thick layers so vertical gradients inside the
+// heat sink and board are resolved.
+const maxCellDZ = 1e-3
+
+// Field is a solved steady-state temperature distribution.
+type Field struct {
+	stack *Stack
+	// zOfLayer[i] lists the z-cell indices belonging to stack layer i.
+	zOfLayer [][]int
+	nz       int
+	t        []float64 // [z][y][x] flattened
+	sweeps   int
+	// Boundary conductances retained for HeatOut.
+	gTop, gBot []float64 // per lateral cell
+}
+
+// solver holds the discretized system during iteration.
+type solver struct {
+	s          *Stack
+	omega      float64
+	nx, ny, nz int
+	gv         []float64 // vertical conductance cell -> cell below (z+1)
+	gxr        []float64 // lateral conductance cell -> x+1
+	gyu        []float64 // lateral conductance cell -> y+1
+	gTop, gBot []float64 // boundary conductance per lateral cell
+	q          []float64 // heat source per cell, W
+	t          []float64
+	// cellCap is each cell's heat capacity in J/K; capOverDt holds
+	// cellCap/dt during transient stepping (all zero for steady
+	// solves, where it drops out of the equations).
+	cellCap   []float64
+	capOverDt []float64
+	// Tridiagonal scratch sized to the longest axis.
+	sub, diag, sup, rhs, cp, dp []float64
+
+	zOfLayer   [][]int
+	totalPower float64
+}
+
+func (sv *solver) idx(z, y, x int) int { return (z*sv.ny+y)*sv.nx + x }
+
+// Solve computes the steady-state temperature field of the stack with
+// an alternating-direction line solver: tridiagonal (Thomas) solves
+// along z, then x, then y lines, iterated to convergence. Die stacks
+// are strongly anisotropic — micron-thin layers give enormous vertical
+// conductances, and the thick copper sink gives enormous lateral
+// ones — so line relaxation along every axis is required for fast,
+// reliable convergence. Convergence is accepted on global energy
+// balance, not just per-sweep stagnation.
+func Solve(s *Stack, opt SolveOptions) (*Field, error) {
+	opt = opt.withDefaults()
+	sv, err := newSolver(s, opt.Omega)
+	if err != nil {
+		return nil, err
+	}
+
+	// Total boundary conductance, for the constant-mode correction.
+	gBoundary := 0.0
+	for i := range sv.gTop {
+		gBoundary += sv.gTop[i] + sv.gBot[i]
+	}
+
+	cycles := 0
+	for ; cycles < opt.MaxCycles; cycles++ {
+		d1 := sv.sweepZ()
+		d2 := sv.sweepX()
+		d3 := sv.sweepY()
+		maxDelta := math.Max(d1, math.Max(d2, d3))
+
+		// Deflate the constant mode: a uniform temperature shift leaves
+		// every interior balance unchanged but scales the boundary
+		// outflow, so the global energy imbalance can be zeroed exactly.
+		// Without this, the weakly-coupled boundary makes the overall
+		// temperature level converge arbitrarily slowly.
+		shift := (sv.totalPower - sv.heatOut()) / gBoundary
+		for i := range sv.t {
+			sv.t[i] += shift
+		}
+		if math.Abs(shift) > maxDelta {
+			maxDelta = math.Abs(shift)
+		}
+
+		if maxDelta < 1e-4 {
+			out := sv.heatOut()
+			if sv.totalPower == 0 || math.Abs(out-sv.totalPower) <= opt.Tolerance*math.Max(sv.totalPower, 1e-9) {
+				cycles++
+				break
+			}
+		}
+	}
+
+	return sv.field(cycles), nil
+}
+
+// field packages the solver's current state.
+func (sv *solver) field(cycles int) *Field {
+	return &Field{
+		stack: sv.s, zOfLayer: sv.zOfLayer, nz: sv.nz, t: sv.t, sweeps: cycles,
+		gTop: sv.gTop, gBot: sv.gBot,
+	}
+}
+
+// newSolver discretizes the stack and precomputes all conductances.
+func newSolver(s *Stack, omega float64) (*solver, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+
+	nx, ny := s.Nx, s.Ny
+	dx := s.Width / float64(nx)
+	dy := s.Height / float64(ny)
+	area := dx * dy
+
+	// Build the z discretization.
+	var dz []float64
+	var zLayer []int // z-cell -> stack layer index
+	var srcScale []float64
+	zOfLayer := make([][]int, len(s.Layers))
+	for li, l := range s.Layers {
+		n := int(math.Ceil(l.Thickness / maxCellDZ))
+		if n < 1 {
+			n = 1
+		}
+		for c := 0; c < n; c++ {
+			zOfLayer[li] = append(zOfLayer[li], len(dz))
+			dz = append(dz, l.Thickness/float64(n))
+			zLayer = append(zLayer, li)
+			srcScale = append(srcScale, 1/float64(n))
+		}
+	}
+	nz := len(dz)
+	cells := nz * ny * nx
+
+	sv := &solver{s: s, omega: omega, nx: nx, ny: ny, nz: nz}
+	sv.zOfLayer = zOfLayer
+	maxAxis := nz
+	if nx > maxAxis {
+		maxAxis = nx
+	}
+	if ny > maxAxis {
+		maxAxis = ny
+	}
+	sv.sub = make([]float64, maxAxis)
+	sv.diag = make([]float64, maxAxis)
+	sv.sup = make([]float64, maxAxis)
+	sv.rhs = make([]float64, maxAxis)
+	sv.cp = make([]float64, maxAxis)
+	sv.dp = make([]float64, maxAxis)
+
+	// Per-cell conductivity honoring bounded layer extents. Boundary
+	// cells that partially overlap the extent get an area-weighted
+	// conductivity, keeping the material mask consistent with
+	// area-weighted power rasterization (otherwise block power can
+	// land in a cell classified as near-insulating filler).
+	k := make([]float64, cells)
+	for z := 0; z < nz; z++ {
+		l := s.Layers[zLayer[z]]
+		kin := l.Material.Conductivity
+		kout := kin
+		if l.bounded() {
+			kout = l.filler().Conductivity
+		}
+		for y := 0; y < ny; y++ {
+			y0 := float64(y) * dy
+			for x := 0; x < nx; x++ {
+				kk := kin
+				if l.bounded() {
+					x0 := float64(x) * dx
+					ox := math.Min(l.Extent.X+l.Extent.W, x0+dx) - math.Max(l.Extent.X, x0)
+					oy := math.Min(l.Extent.Y+l.Extent.H, y0+dy) - math.Max(l.Extent.Y, y0)
+					frac := 0.0
+					if ox > 0 && oy > 0 {
+						frac = (ox * oy) / (dx * dy)
+					}
+					kk = frac*kin + (1-frac)*kout
+				}
+				k[sv.idx(z, y, x)] = kk
+			}
+		}
+	}
+
+	// Precomputed conductances.
+	sv.gv = make([]float64, cells)
+	sv.gxr = make([]float64, cells)
+	sv.gyu = make([]float64, cells)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := sv.idx(z, y, x)
+				if z < nz-1 {
+					j := sv.idx(z+1, y, x)
+					sv.gv[i] = area / (dz[z]/(2*k[i]) + dz[z+1]/(2*k[j]))
+				}
+				if x < nx-1 {
+					j := sv.idx(z, y, x+1)
+					sv.gxr[i] = dz[z] * dy / (dx/(2*k[i]) + dx/(2*k[j]))
+				}
+				if y < ny-1 {
+					j := sv.idx(z, y+1, x)
+					sv.gyu[i] = dz[z] * dx / (dy/(2*k[i]) + dy/(2*k[j]))
+				}
+			}
+		}
+	}
+	sv.gTop = make([]float64, ny*nx)
+	sv.gBot = make([]float64, ny*nx)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if s.TopH > 0 {
+				sv.gTop[y*nx+x] = area / (dz[0]/(2*k[sv.idx(0, y, x)]) + 1/s.TopH)
+			}
+			if s.BottomH > 0 {
+				sv.gBot[y*nx+x] = area / (dz[nz-1]/(2*k[sv.idx(nz-1, y, x)]) + 1/s.BottomH)
+			}
+		}
+	}
+
+	// Per-cell heat sources in watts, and heat capacities in J/K.
+	sv.q = make([]float64, cells)
+	sv.cellCap = make([]float64, cells)
+	sv.capOverDt = make([]float64, cells)
+	cellArea := dx * dy
+	for z := 0; z < nz; z++ {
+		layer := s.Layers[zLayer[z]]
+		capPerCell := layer.Material.heatCapacity() * cellArea * dz[z]
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				sv.cellCap[sv.idx(z, y, x)] = capPerCell
+			}
+		}
+		pm := layer.Power
+		if pm == nil {
+			continue
+		}
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				w := pm.At(x, y) * srcScale[z]
+				sv.q[sv.idx(z, y, x)] = w
+				sv.totalPower += w
+			}
+		}
+	}
+
+	sv.t = make([]float64, cells)
+	for i := range sv.t {
+		sv.t[i] = s.AmbientC
+	}
+	return sv, nil
+}
+
+// heatOut integrates convective outflow at both boundary faces.
+func (sv *solver) heatOut() float64 {
+	total := 0.0
+	amb := sv.s.AmbientC
+	for y := 0; y < sv.ny; y++ {
+		for x := 0; x < sv.nx; x++ {
+			if g := sv.gTop[y*sv.nx+x]; g > 0 {
+				total += g * (sv.t[sv.idx(0, y, x)] - amb)
+			}
+			if g := sv.gBot[y*sv.nx+x]; g > 0 {
+				total += g * (sv.t[sv.idx(sv.nz-1, y, x)] - amb)
+			}
+		}
+	}
+	return total
+}
+
+// thomas solves the assembled tridiagonal system of length n into dp.
+func (sv *solver) thomas(n int) {
+	sv.cp[0] = sv.sup[0] / sv.diag[0]
+	sv.dp[0] = sv.rhs[0] / sv.diag[0]
+	for i := 1; i < n; i++ {
+		m := sv.diag[i] - sv.sub[i]*sv.cp[i-1]
+		sv.cp[i] = sv.sup[i] / m
+		sv.dp[i] = (sv.rhs[i] - sv.sub[i]*sv.dp[i-1]) / m
+	}
+	for i := n - 2; i >= 0; i-- {
+		sv.dp[i] -= sv.cp[i] * sv.dp[i+1]
+	}
+}
+
+// sweepZ solves each vertical column exactly, lateral neighbors fixed.
+func (sv *solver) sweepZ() float64 {
+	nx, ny, nz := sv.nx, sv.ny, sv.nz
+	amb := sv.s.AmbientC
+	maxDelta := 0.0
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for z := 0; z < nz; z++ {
+				i := sv.idx(z, y, x)
+				d := sv.capOverDt[i]
+				r := sv.q[i]
+				if z > 0 {
+					g := sv.gv[sv.idx(z-1, y, x)]
+					sv.sub[z] = -g
+					d += g
+				} else {
+					sv.sub[z] = 0
+					g := sv.gTop[y*nx+x]
+					d += g
+					r += g * amb
+				}
+				if z < nz-1 {
+					g := sv.gv[i]
+					sv.sup[z] = -g
+					d += g
+				} else {
+					sv.sup[z] = 0
+					g := sv.gBot[y*nx+x]
+					d += g
+					r += g * amb
+				}
+				if x > 0 {
+					g := sv.gxr[sv.idx(z, y, x-1)]
+					d += g
+					r += g * sv.t[sv.idx(z, y, x-1)]
+				}
+				if x < nx-1 {
+					g := sv.gxr[i]
+					d += g
+					r += g * sv.t[sv.idx(z, y, x+1)]
+				}
+				if y > 0 {
+					g := sv.gyu[sv.idx(z, y-1, x)]
+					d += g
+					r += g * sv.t[sv.idx(z, y-1, x)]
+				}
+				if y < ny-1 {
+					g := sv.gyu[i]
+					d += g
+					r += g * sv.t[sv.idx(z, y+1, x)]
+				}
+				sv.diag[z] = d
+				sv.rhs[z] = r
+			}
+			sv.thomas(nz)
+			for z := 0; z < nz; z++ {
+				i := sv.idx(z, y, x)
+				nv := sv.t[i] + sv.omega*(sv.dp[z]-sv.t[i])
+				if dlt := math.Abs(nv - sv.t[i]); dlt > maxDelta {
+					maxDelta = dlt
+				}
+				sv.t[i] = nv
+			}
+		}
+	}
+	return maxDelta
+}
+
+// sweepX solves each x-line exactly, other neighbors fixed.
+func (sv *solver) sweepX() float64 {
+	nx, ny, nz := sv.nx, sv.ny, sv.nz
+	amb := sv.s.AmbientC
+	maxDelta := 0.0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := sv.idx(z, y, x)
+				d := sv.capOverDt[i]
+				r := sv.q[i]
+				if x > 0 {
+					g := sv.gxr[sv.idx(z, y, x-1)]
+					sv.sub[x] = -g
+					d += g
+				} else {
+					sv.sub[x] = 0
+				}
+				if x < nx-1 {
+					g := sv.gxr[i]
+					sv.sup[x] = -g
+					d += g
+				} else {
+					sv.sup[x] = 0
+				}
+				if z > 0 {
+					g := sv.gv[sv.idx(z-1, y, x)]
+					d += g
+					r += g * sv.t[sv.idx(z-1, y, x)]
+				} else {
+					g := sv.gTop[y*nx+x]
+					d += g
+					r += g * amb
+				}
+				if z < nz-1 {
+					g := sv.gv[i]
+					d += g
+					r += g * sv.t[sv.idx(z+1, y, x)]
+				} else {
+					g := sv.gBot[y*nx+x]
+					d += g
+					r += g * amb
+				}
+				if y > 0 {
+					g := sv.gyu[sv.idx(z, y-1, x)]
+					d += g
+					r += g * sv.t[sv.idx(z, y-1, x)]
+				}
+				if y < ny-1 {
+					g := sv.gyu[i]
+					d += g
+					r += g * sv.t[sv.idx(z, y+1, x)]
+				}
+				sv.diag[x] = d
+				sv.rhs[x] = r
+			}
+			sv.thomas(nx)
+			for x := 0; x < nx; x++ {
+				i := sv.idx(z, y, x)
+				nv := sv.t[i] + sv.omega*(sv.dp[x]-sv.t[i])
+				if dlt := math.Abs(nv - sv.t[i]); dlt > maxDelta {
+					maxDelta = dlt
+				}
+				sv.t[i] = nv
+			}
+		}
+	}
+	return maxDelta
+}
+
+// sweepY solves each y-line exactly, other neighbors fixed.
+func (sv *solver) sweepY() float64 {
+	nx, ny, nz := sv.nx, sv.ny, sv.nz
+	amb := sv.s.AmbientC
+	maxDelta := 0.0
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				i := sv.idx(z, y, x)
+				d := sv.capOverDt[i]
+				r := sv.q[i]
+				if y > 0 {
+					g := sv.gyu[sv.idx(z, y-1, x)]
+					sv.sub[y] = -g
+					d += g
+				} else {
+					sv.sub[y] = 0
+				}
+				if y < ny-1 {
+					g := sv.gyu[i]
+					sv.sup[y] = -g
+					d += g
+				} else {
+					sv.sup[y] = 0
+				}
+				if z > 0 {
+					g := sv.gv[sv.idx(z-1, y, x)]
+					d += g
+					r += g * sv.t[sv.idx(z-1, y, x)]
+				} else {
+					g := sv.gTop[y*nx+x]
+					d += g
+					r += g * amb
+				}
+				if z < nz-1 {
+					g := sv.gv[i]
+					d += g
+					r += g * sv.t[sv.idx(z+1, y, x)]
+				} else {
+					g := sv.gBot[y*nx+x]
+					d += g
+					r += g * amb
+				}
+				if x > 0 {
+					g := sv.gxr[sv.idx(z, y, x-1)]
+					d += g
+					r += g * sv.t[sv.idx(z, y, x-1)]
+				}
+				if x < nx-1 {
+					g := sv.gxr[i]
+					d += g
+					r += g * sv.t[sv.idx(z, y, x+1)]
+				}
+				sv.diag[y] = d
+				sv.rhs[y] = r
+			}
+			sv.thomas(ny)
+			for y := 0; y < ny; y++ {
+				i := sv.idx(z, y, x)
+				nv := sv.t[i] + sv.omega*(sv.dp[y]-sv.t[i])
+				if dlt := math.Abs(nv - sv.t[i]); dlt > maxDelta {
+					maxDelta = dlt
+				}
+				sv.t[i] = nv
+			}
+		}
+	}
+	return maxDelta
+}
+
+// Sweeps returns how many alternating-direction cycles the solution
+// took.
+func (f *Field) Sweeps() int { return f.sweeps }
+
+// Stack returns the geometry the field was solved on.
+func (f *Field) Stack() *Stack { return f.stack }
+
+// Peak returns the hottest temperature anywhere in the stack.
+func (f *Field) Peak() float64 {
+	peak := math.Inf(-1)
+	for _, v := range f.t {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Min returns the coldest temperature anywhere in the stack.
+func (f *Field) Min() float64 {
+	low := math.Inf(1)
+	for _, v := range f.t {
+		if v < low {
+			low = v
+		}
+	}
+	return low
+}
+
+// LayerPeak returns the hottest temperature within stack layer li.
+func (f *Field) LayerPeak(li int) float64 {
+	nx, ny := f.stack.Nx, f.stack.Ny
+	peak := math.Inf(-1)
+	for _, z := range f.zOfLayer[li] {
+		for i := z * ny * nx; i < (z+1)*ny*nx; i++ {
+			if f.t[i] > peak {
+				peak = f.t[i]
+			}
+		}
+	}
+	return peak
+}
+
+// LayerMin returns the coldest temperature within stack layer li.
+func (f *Field) LayerMin(li int) float64 {
+	nx, ny := f.stack.Nx, f.stack.Ny
+	low := math.Inf(1)
+	for _, z := range f.zOfLayer[li] {
+		for i := z * ny * nx; i < (z+1)*ny*nx; i++ {
+			if f.t[i] < low {
+				low = f.t[i]
+			}
+		}
+	}
+	return low
+}
+
+// LayerMap returns layer li's lateral temperature map (averaged over
+// the layer's z cells), indexed [y][x].
+func (f *Field) LayerMap(li int) [][]float64 {
+	nx, ny := f.stack.Nx, f.stack.Ny
+	zs := f.zOfLayer[li]
+	out := make([][]float64, ny)
+	for y := range out {
+		out[y] = make([]float64, nx)
+		for x := 0; x < nx; x++ {
+			sum := 0.0
+			for _, z := range zs {
+				sum += f.t[(z*ny+y)*nx+x]
+			}
+			out[y][x] = sum / float64(len(zs))
+		}
+	}
+	return out
+}
+
+// At returns the temperature of layer li at lateral cell (x, y),
+// averaged over the layer's z cells.
+func (f *Field) At(li, x, y int) float64 {
+	nx, ny := f.stack.Nx, f.stack.Ny
+	sum := 0.0
+	zs := f.zOfLayer[li]
+	for _, z := range zs {
+		sum += f.t[(z*ny+y)*nx+x]
+	}
+	return sum / float64(len(zs))
+}
+
+// ExtentPeak returns the hottest temperature of layer li restricted to
+// the lateral rectangle r (useful for reading die temperatures out of
+// a package-sized field).
+func (f *Field) ExtentPeak(li int, r Rect) float64 {
+	s := f.stack
+	dx := s.Width / float64(s.Nx)
+	dy := s.Height / float64(s.Ny)
+	peak := math.Inf(-1)
+	for y := 0; y < s.Ny; y++ {
+		cy := (float64(y) + 0.5) * dy
+		if cy < r.Y || cy >= r.Y+r.H {
+			continue
+		}
+		for x := 0; x < s.Nx; x++ {
+			cx := (float64(x) + 0.5) * dx
+			if cx < r.X || cx >= r.X+r.W {
+				continue
+			}
+			if v := f.At(li, x, y); v > peak {
+				peak = v
+			}
+		}
+	}
+	return peak
+}
+
+// LayerPeakMinIn returns the coldest temperature of layer li within
+// the lateral rectangle r.
+func (f *Field) LayerPeakMinIn(li int, r Rect) float64 {
+	s := f.stack
+	dx := s.Width / float64(s.Nx)
+	dy := s.Height / float64(s.Ny)
+	low := math.Inf(1)
+	for y := 0; y < s.Ny; y++ {
+		cy := (float64(y) + 0.5) * dy
+		if cy < r.Y || cy >= r.Y+r.H {
+			continue
+		}
+		for x := 0; x < s.Nx; x++ {
+			cx := (float64(x) + 0.5) * dx
+			if cx < r.X || cx >= r.X+r.W {
+				continue
+			}
+			if v := f.At(li, x, y); v < low {
+				low = v
+			}
+		}
+	}
+	return low
+}
+
+// HeatOut integrates the convective heat flow leaving both boundary
+// faces in watts; at steady state it matches the injected power
+// (energy conservation).
+func (f *Field) HeatOut() float64 {
+	s := f.stack
+	nx, ny := s.Nx, s.Ny
+	total := 0.0
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if g := f.gTop[y*nx+x]; g > 0 {
+				total += g * (f.t[(0*ny+y)*nx+x] - s.AmbientC)
+			}
+			if g := f.gBot[y*nx+x]; g > 0 {
+				total += g * (f.t[((f.nz-1)*ny+y)*nx+x] - s.AmbientC)
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,344 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerMapBasics(t *testing.T) {
+	p := NewPowerMap(4, 3)
+	if nx, ny := p.Size(); nx != 4 || ny != 3 {
+		t.Fatalf("Size = %d,%d", nx, ny)
+	}
+	p.Set(1, 2, 5)
+	p.Add(1, 2, 2)
+	if p.At(1, 2) != 7 {
+		t.Fatalf("At = %v", p.At(1, 2))
+	}
+	if p.Total() != 7 {
+		t.Fatalf("Total = %v", p.Total())
+	}
+	p.Scale(2)
+	if p.Total() != 14 {
+		t.Fatalf("scaled Total = %v", p.Total())
+	}
+	q := p.Clone()
+	q.Set(0, 0, 100)
+	if p.At(0, 0) != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestPowerMapFill(t *testing.T) {
+	p := NewPowerMap(10, 10).FillUniform(50)
+	if math.Abs(p.Total()-50) > 1e-9 {
+		t.Fatalf("uniform Total = %v", p.Total())
+	}
+	p = NewPowerMap(10, 10).FillRect(2, 2, 4, 4, 8)
+	if math.Abs(p.Total()-8) > 1e-9 {
+		t.Fatalf("rect Total = %v", p.Total())
+	}
+	if p.At(2, 2) != 2 || p.At(3, 3) != 2 || p.At(4, 4) != 0 {
+		t.Fatal("rect fill misplaced")
+	}
+	// Clipping out-of-range rectangles must not panic or lose area
+	// inside the grid.
+	p = NewPowerMap(4, 4).FillRect(-5, -5, 100, 100, 16)
+	if math.Abs(p.Total()-16) > 1e-9 {
+		t.Fatalf("clipped Total = %v", p.Total())
+	}
+	// Fully outside: no-op.
+	p = NewPowerMap(4, 4).FillRect(10, 10, 12, 12, 5)
+	if p.Total() != 0 {
+		t.Fatal("out-of-grid rect added power")
+	}
+}
+
+func TestPowerMapMaxDensity(t *testing.T) {
+	p := NewPowerMap(2, 2)
+	p.Set(0, 0, 1) // 1 W in a 5mm x 5mm cell = 40 kW/m^2
+	d := p.MaxDensity(0.01, 0.01)
+	if math.Abs(d-40000) > 1 {
+		t.Fatalf("MaxDensity = %v, want 40000", d)
+	}
+}
+
+// oneDStack builds a laterally uniform two-layer column for analytic
+// validation: a 1 mm source plate under a 10 mm conductive slab with
+// convection only at the top.
+func oneDStack(power float64) *Stack {
+	nx, ny := 4, 4
+	pm := NewPowerMap(nx, ny).FillUniform(power)
+	return &Stack{
+		Width: 0.01, Height: 0.01, Nx: nx, Ny: ny,
+		Layers: []Layer{
+			{Name: "slab", Thickness: 0.01, Material: Material{Name: "slab", Conductivity: 100}},
+			{Name: "source", Thickness: 0.001, Material: Material{Name: "src", Conductivity: 100}, Power: pm},
+		},
+		TopH:     1000,
+		AmbientC: 40,
+	}
+}
+
+func TestSolveMatchesOneDAnalytic(t *testing.T) {
+	const power = 10.0
+	s := oneDStack(power)
+	f, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series resistance from the source cell center to ambient:
+	// half the source layer, the full slab, the film coefficient.
+	area := s.Width * s.Height
+	r := (0.001/2/100 + 0.01/100 + 1.0/1000) / area
+	want := 40 + power*r
+	got := f.LayerPeak(1)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("1D peak = %.3f, analytic %.3f", got, want)
+	}
+	// The top face must be cooler than the source.
+	if f.LayerPeak(0) >= got {
+		t.Fatal("slab top hotter than source")
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s := oneDStack(25)
+	f, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.HeatOut()
+	if math.Abs(out-25) > 0.05 {
+		t.Fatalf("heat out %.4f W, injected 25 W", out)
+	}
+}
+
+func TestNoPowerMeansAmbient(t *testing.T) {
+	s := oneDStack(0)
+	f, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Peak()-40) > 1e-6 || math.Abs(f.Min()-40) > 1e-6 {
+		t.Fatalf("unpowered stack at %v..%v, want ambient 40", f.Min(), f.Peak())
+	}
+}
+
+func TestHotspotLocality(t *testing.T) {
+	nx, ny := 16, 16
+	pm := NewPowerMap(nx, ny)
+	pm.Set(2, 2, 20) // concentrated corner source
+	s := PlanarStack(0.012, 0.012, pm, StackOptions{Nx: nx, Ny: ny})
+	f, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := s.LayerIndex("active")
+	if li < 0 {
+		t.Fatal("no active layer")
+	}
+	hot := f.At(li, 2, 2)
+	far := f.At(li, 13, 13)
+	if hot <= far+1 {
+		t.Fatalf("hotspot %.2f not hotter than far corner %.2f", hot, far)
+	}
+}
+
+func TestPlanarStackStructure(t *testing.T) {
+	pm := NewPowerMap(64, 64).FillUniform(92)
+	s := PlanarStack(0.012, 0.012, pm, StackOptions{})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LayerIndex("heat sink") != 0 {
+		t.Fatal("heat sink must be the outermost layer")
+	}
+	if s.LayerIndex("motherboard") != len(s.Layers)-1 {
+		t.Fatal("motherboard must be the last layer")
+	}
+	if math.Abs(s.TotalPower()-92) > 1e-9 {
+		t.Fatalf("TotalPower = %v", s.TotalPower())
+	}
+}
+
+func TestThreeDStackStructure(t *testing.T) {
+	cpu := NewPowerMap(64, 64).FillUniform(85)
+	mem := NewPowerMap(64, 64).FillUniform(3.1)
+	s := ThreeDStack(0.012, 0.012, LogicDie(cpu), DRAMDie(mem), StackOptions{})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 ordering: bulk Si #1 above active #1 above metal #1
+	// above bond above metal #2 above active #2 above bulk Si #2.
+	names := []string{"bulk Si #1", "active #1", "metal #1", "bond", "metal #2", "active #2", "bulk Si #2"}
+	prev := -1
+	for _, n := range names {
+		i := s.LayerIndex(n)
+		if i < 0 {
+			t.Fatalf("layer %q missing", n)
+		}
+		if i <= prev {
+			t.Fatalf("layer %q out of order", n)
+		}
+		prev = i
+	}
+	// The DRAM die's metal is aluminum.
+	i := s.LayerIndex("metal #2")
+	if s.Layers[i].Material.Name != AlMetal.Name {
+		t.Fatalf("bottom metal = %v, want Al", s.Layers[i].Material)
+	}
+	if math.Abs(s.TotalPower()-88.1) > 1e-9 {
+		t.Fatalf("TotalPower = %v", s.TotalPower())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	pm := NewPowerMap(8, 8)
+	good := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: 8, Ny: 8})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Nx = 1
+	if bad.Validate() == nil {
+		t.Error("coarse grid accepted")
+	}
+	bad = *good
+	bad.Width = 0
+	if bad.Validate() == nil {
+		t.Error("zero width accepted")
+	}
+	bad = *good
+	bad.Layers = nil
+	if bad.Validate() == nil {
+		t.Error("no layers accepted")
+	}
+	bad = *good
+	bad.TopH, bad.BottomH = 0, 0
+	if bad.Validate() == nil {
+		t.Error("no cooling path accepted")
+	}
+	// Mismatched power map grid.
+	badLayers := append([]Layer(nil), good.Layers...)
+	for i := range badLayers {
+		if badLayers[i].Power != nil {
+			badLayers[i].Power = NewPowerMap(3, 3)
+		}
+	}
+	bad = *good
+	bad.Layers = badLayers
+	if bad.Validate() == nil {
+		t.Error("mismatched power map accepted")
+	}
+}
+
+func TestBondConductivityMatters(t *testing.T) {
+	// Figure 3's premise: lowering the bond-layer conductivity raises
+	// the peak temperature of a 3D stack.
+	mk := func(bondK float64) float64 {
+		cpu := NewPowerMap(24, 24).FillRect(4, 4, 12, 12, 60)
+		mem := NewPowerMap(24, 24).FillUniform(3)
+		s := ThreeDStack(0.012, 0.012, LogicDie(cpu), DRAMDie(mem),
+			StackOptions{Nx: 24, Ny: 24, BondK: bondK})
+		f, err := Solve(s, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Peak()
+	}
+	hiK := mk(60)
+	loK := mk(3)
+	if loK <= hiK {
+		t.Fatalf("bond 3 W/mK peak %.2f should exceed bond 60 W/mK peak %.2f", loK, hiK)
+	}
+}
+
+func TestMaximumPrincipleQuick(t *testing.T) {
+	// With arbitrary non-negative sources, no cell may be colder than
+	// ambient, and the peak must sit in a powered column's die region
+	// rather than below ambient.
+	f := func(raw []uint8) bool {
+		nx, ny := 6, 6
+		pm := NewPowerMap(nx, ny)
+		for i, v := range raw {
+			if i >= nx*ny {
+				break
+			}
+			pm.Set(i%nx, i/nx, float64(v)/16)
+		}
+		s := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: nx, Ny: ny})
+		fld, err := Solve(s, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		return fld.Min() >= s.AmbientC-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolverSymmetry(t *testing.T) {
+	nx, ny := 12, 12
+	pm := NewPowerMap(nx, ny).FillRect(4, 4, 8, 8, 30) // centered block
+	s := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: nx, Ny: ny})
+	f, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := s.LayerIndex("active")
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			mirror := f.At(li, nx-1-x, ny-1-y)
+			if math.Abs(f.At(li, x, y)-mirror) > 0.01 {
+				t.Fatalf("asymmetry at (%d,%d): %.4f vs %.4f", x, y, f.At(li, x, y), mirror)
+			}
+		}
+	}
+}
+
+func TestSolveConvergesWithinBudget(t *testing.T) {
+	s := oneDStack(1)
+	f, err := Solve(s, SolveOptions{MaxCycles: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sweeps() >= 500 {
+		t.Fatalf("1D problem took the full %d cycles", f.Sweeps())
+	}
+}
+
+func TestLinearityInPower(t *testing.T) {
+	// Heat conduction is linear: doubling power doubles the rise over
+	// ambient everywhere.
+	s1 := oneDStack(10)
+	s2 := oneDStack(20)
+	f1, err := Solve(s1, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Solve(s2, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := f1.Peak() - 40
+	r2 := f2.Peak() - 40
+	if math.Abs(r2-2*r1) > 0.02*r2 {
+		t.Fatalf("rise not linear: %v vs 2x%v", r2, r1)
+	}
+}
+
+func TestLayerMapShape(t *testing.T) {
+	pm := NewPowerMap(8, 8).FillUniform(10)
+	s := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: 8, Ny: 8})
+	f, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.LayerMap(s.LayerIndex("active"))
+	if len(m) != 8 || len(m[0]) != 8 {
+		t.Fatalf("LayerMap shape %dx%d", len(m), len(m[0]))
+	}
+}

@@ -1,0 +1,159 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// TransientOptions tunes SolveTransient.
+type TransientOptions struct {
+	// Dt is the time step in seconds. Implicit Euler is
+	// unconditionally stable, so Dt trades accuracy for speed; the die
+	// responds in milliseconds and the sink in tens of seconds.
+	Dt float64
+	// Steps is the number of time steps to take.
+	Steps int
+	// InnerCycles is the number of alternating-direction cycles solved
+	// per implicit step (default 10).
+	InnerCycles int
+	// InitialC is the uniform starting temperature (default ambient).
+	InitialC float64
+	// Omega over-relaxes the inner line solves (default 1.5; the
+	// capacity term strengthens the diagonal, so less relaxation is
+	// needed than for steady solves).
+	Omega float64
+	// PowerScale, when non-nil, is consulted before every step with
+	// the current simulated time and the previous step's peak
+	// temperature, and returns a multiplier applied to all power maps
+	// for the step. It is the hook for dynamic thermal management
+	// studies: a thermostat or DVFS governor closes the loop here.
+	PowerScale func(t float64, peakC float64) float64
+}
+
+func (o TransientOptions) withDefaults() TransientOptions {
+	if o.InnerCycles == 0 {
+		o.InnerCycles = 10
+	}
+	if o.Omega == 0 {
+		o.Omega = 1.5
+	}
+	return o
+}
+
+// TransientResult is a time-stepped solution.
+type TransientResult struct {
+	// Final is the temperature field after the last step.
+	Final *Field
+	// Times[i] is the simulated time after step i, in seconds.
+	Times []float64
+	// PeakC[i] is the hottest cell after step i.
+	PeakC []float64
+	// StoredJ[i] is the thermal energy stored above ambient after step
+	// i, in joules (the integral of C·(T-Tamb)).
+	StoredJ []float64
+	// Scale[i] is the power multiplier the PowerScale hook applied at
+	// step i (1.0 throughout when no hook is installed).
+	Scale []float64
+}
+
+// SolveTransient integrates the time-dependent conservation equation
+// (the paper's Equation 1 with its ∂t term) by implicit Euler: each
+// step solves the steady operator augmented with C/dt on the diagonal.
+// Power maps are applied as a step input at t=0 from the uniform
+// initial temperature, which answers "how fast does the stack heat
+// up" — the question steady-state analysis cannot.
+func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
+	if opt.Dt <= 0 || opt.Steps <= 0 {
+		return nil, fmt.Errorf("thermal: transient needs positive Dt and Steps, got %g/%d", opt.Dt, opt.Steps)
+	}
+	opt = opt.withDefaults()
+	if opt.Omega <= 0 || opt.Omega >= 2 {
+		return nil, fmt.Errorf("thermal: omega %g out of (0,2)", opt.Omega)
+	}
+
+	sv, err := newSolver(s, opt.Omega)
+	if err != nil {
+		return nil, err
+	}
+	if opt.InitialC != 0 {
+		for i := range sv.t {
+			sv.t[i] = opt.InitialC
+		}
+	}
+
+	baseQ := append([]float64(nil), sv.q...)
+	for i := range sv.capOverDt {
+		sv.capOverDt[i] = sv.cellCap[i] / opt.Dt
+	}
+	tOld := append([]float64(nil), sv.t...)
+
+	res := &TransientResult{
+		Times:   make([]float64, 0, opt.Steps),
+		PeakC:   make([]float64, 0, opt.Steps),
+		StoredJ: make([]float64, 0, opt.Steps),
+		Scale:   make([]float64, 0, opt.Steps),
+	}
+	prevPeak := sv.t[0]
+	for _, v := range sv.t {
+		if v > prevPeak {
+			prevPeak = v
+		}
+	}
+	for step := 1; step <= opt.Steps; step++ {
+		scale := 1.0
+		if opt.PowerScale != nil {
+			scale = opt.PowerScale(float64(step-1)*opt.Dt, prevPeak)
+			if scale < 0 {
+				scale = 0
+			}
+		}
+		// Implicit Euler right-hand side: q·scale + (C/dt)·T_old.
+		copy(tOld, sv.t)
+		for i := range sv.q {
+			sv.q[i] = baseQ[i]*scale + sv.capOverDt[i]*tOld[i]
+		}
+		for c := 0; c < opt.InnerCycles; c++ {
+			d1 := sv.sweepZ()
+			d2 := sv.sweepX()
+			d3 := sv.sweepY()
+			if math.Max(d1, math.Max(d2, d3)) < 1e-6 {
+				break
+			}
+		}
+		res.Times = append(res.Times, float64(step)*opt.Dt)
+		peak := math.Inf(-1)
+		stored := 0.0
+		for i, v := range sv.t {
+			if v > peak {
+				peak = v
+			}
+			stored += sv.cellCap[i] * (v - s.AmbientC)
+		}
+		res.PeakC = append(res.PeakC, peak)
+		res.StoredJ = append(res.StoredJ, stored)
+		res.Scale = append(res.Scale, scale)
+		prevPeak = peak
+	}
+
+	// Restore the steady sources so Final.HeatOut reflects real flux.
+	copy(sv.q, baseQ)
+	for i := range sv.capOverDt {
+		sv.capOverDt[i] = 0
+	}
+	res.Final = sv.field(opt.Steps)
+	return res, nil
+}
+
+// TimeToFraction scans a transient trajectory for the first time the
+// peak temperature crosses frac of the way from start to the given
+// steady peak; it returns -1 if never reached. Useful for extracting
+// thermal time constants (frac = 1 - 1/e = 0.632).
+func (r *TransientResult) TimeToFraction(startC, steadyPeakC, frac float64) float64 {
+	target := startC + frac*(steadyPeakC-startC)
+	for i, p := range r.PeakC {
+		if p >= target {
+			return r.Times[i]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{ID: uint64(i), Dep: NoDep, Addr: uint64(i) * 64, Kind: Load, Reps: 7}
+	}
+	return recs
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	recs := benchRecords(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	recs := benchRecords(10_000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := Collect(NewReader(bytes.NewReader(data)), 0)
+		if err != nil || len(got) != len(recs) {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}

@@ -1,0 +1,44 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"diestack/internal/trace"
+)
+
+// A trace is a sequence of dependency-annotated records: here the
+// second load must wait for the first (a pointer chase), and the
+// store waits for the second.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	recs := []trace.Record{
+		{ID: 0, Dep: trace.NoDep, Addr: 0x1000, CPU: 0, Kind: trace.Load},
+		{ID: 1, Dep: 0, Addr: 0x2000, CPU: 0, Kind: trace.Load},
+		{ID: 2, Dep: 1, Addr: 0x3000, CPU: 0, Kind: trace.Store},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	got, err := trace.Collect(trace.NewReader(&buf), 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range got {
+		fmt.Println(r)
+	}
+	// Output:
+	// #0 cpu0 load addr=0x1000 pc=0x0 dep=-
+	// #1 cpu0 load addr=0x2000 pc=0x0 dep=0
+	// #2 cpu0 store addr=0x3000 pc=0x0 dep=1
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// TestCorruptionNeverPanics flips random bytes in a valid encoded
+// trace and requires the reader to either error cleanly or produce
+// records — never panic or loop forever.
+func TestCorruptionNeverPanics(t *testing.T) {
+	base := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := 0; i < 200; i++ {
+			dep := NoDep
+			if i > 0 && i%3 == 0 {
+				dep = uint64(i - 1)
+			}
+			_ = w.Write(Record{ID: uint64(i), Dep: dep, Addr: uint64(i) * 64, Kind: Kind(i % 3)})
+		}
+		_ = w.Flush()
+		return buf.Bytes()
+	}()
+
+	f := func(pos uint16, val byte) bool {
+		data := append([]byte(nil), base...)
+		data[int(pos)%len(data)] ^= val | 1
+
+		r := NewReader(bytes.NewReader(data))
+		count := 0
+		for {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return true // clean failure
+			}
+			count++
+			if count > 10*len(base) {
+				return false // runaway
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncationAlwaysErrors cuts a valid trace at every possible
+// byte boundary within the first few records; the reader must either
+// deliver complete records and then error/EOF — never deliver a
+// partial record silently.
+func TestTruncationAlwaysErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		if err := w.Write(Record{ID: uint64(i), Dep: NoDep, Addr: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for cut := 0; cut < len(data); cut++ {
+		r := NewReader(bytes.NewReader(data[:cut]))
+		n := 0
+		for {
+			rec, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				// EOF is only legal on a record boundary.
+				if (cut-5)%recSize != 0 || cut < 5 {
+					t.Fatalf("cut %d: silent EOF off a record boundary", cut)
+				}
+				break
+			}
+			if err != nil {
+				break // clean error
+			}
+			if rec.ID != uint64(n) {
+				t.Fatalf("cut %d: wrong record %d", cut, rec.ID)
+			}
+			n++
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package uarch
+
+import "testing"
+
+func BenchmarkRunMixed(b *testing.B) {
+	prog := make([]Inst, 100_000)
+	for i := range prog {
+		switch i % 5 {
+		case 0:
+			prog[i] = Inst{Op: OpLoad, Dep1: 3}
+		case 1:
+			prog[i] = Inst{Op: OpFP, Dep1: 1}
+		case 2:
+			prog[i] = Inst{Op: OpStore}
+		case 3:
+			prog[i] = Inst{Op: OpBranch, Mispredicted: i%500 == 3}
+		default:
+			prog[i] = Inst{Op: OpInt, Dep1: 2}
+		}
+	}
+	cfg := PlanarConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(prog)), "insts/op")
+}

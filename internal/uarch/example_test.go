@@ -1,0 +1,22 @@
+package uarch_test
+
+import (
+	"fmt"
+
+	"diestack/internal/uarch"
+)
+
+// Folding the FP register-read wire stages speeds up an FP-chain-bound
+// loop by the latency ratio.
+func ExampleConfig_Apply() {
+	cfg := uarch.PlanarConfig()
+	prog := make([]uarch.Inst, 10000)
+	for i := range prog {
+		prog[i] = uarch.Inst{Op: uarch.OpFP, Dep1: 1} // serial FP chain
+	}
+	base, _ := uarch.Run(cfg, prog)
+	folded, _ := uarch.Run(cfg.Apply(uarch.Fold{FPLatency: true}), prog)
+	fmt.Printf("planar IPC %.3f, folded IPC %.3f\n", base.IPC, folded.IPC)
+	// Output:
+	// planar IPC 0.125, folded IPC 0.167
+}

@@ -1,0 +1,308 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func intProg(n int, dep int32) []Inst {
+	prog := make([]Inst, n)
+	for i := range prog {
+		prog[i] = Inst{Op: OpInt, Dep1: dep}
+	}
+	return prog
+}
+
+func TestValidate(t *testing.T) {
+	good := PlanarConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.FetchWidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero width accepted")
+	}
+	bad = good
+	bad.ROBSize = 0
+	if bad.Validate() == nil {
+		t.Error("zero ROB accepted")
+	}
+	bad = good
+	bad.FPLatency = -1
+	if bad.Validate() == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	names := []string{"int", "fp", "simd", "load", "store", "branch"}
+	for i, want := range names {
+		if got := OpType(i).String(); got != want {
+			t.Errorf("OpType(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if !strings.Contains(OpType(99).String(), "99") {
+		t.Error("unknown op should include value")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	res, err := Run(PlanarConfig(), nil)
+	if err != nil || res.Insts != 0 {
+		t.Fatalf("empty program: %+v, %v", res, err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := PlanarConfig()
+	cfg.ROBSize = -1
+	if _, err := Run(cfg, intProg(10, 0)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := PlanarConfig()
+	p := intProg(5000, 1)
+	a, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(cfg, p)
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestIndependentIntThroughput(t *testing.T) {
+	cfg := PlanarConfig()
+	res, err := Run(cfg, intProg(30000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent single-cycle ops sustain fetch-width throughput.
+	if res.IPC < float64(cfg.FetchWidth)*0.9 {
+		t.Fatalf("independent IPC = %.3f, want ~%d", res.IPC, cfg.FetchWidth)
+	}
+}
+
+func TestSerialChainThroughput(t *testing.T) {
+	cfg := PlanarConfig()
+	res, err := Run(cfg, intProg(30000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully serial single-cycle chain runs at ~1 IPC.
+	if res.IPC < 0.9 || res.IPC > 1.1 {
+		t.Fatalf("serial IPC = %.3f, want ~1", res.IPC)
+	}
+}
+
+func TestFPChainBoundByLatency(t *testing.T) {
+	cfg := PlanarConfig()
+	prog := make([]Inst, 20000)
+	for i := range prog {
+		prog[i] = Inst{Op: OpFP, Dep1: 1}
+	}
+	res, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / float64(cfg.FPLatency)
+	if res.IPC < want*0.9 || res.IPC > want*1.1 {
+		t.Fatalf("FP chain IPC = %.4f, want ~%.4f", res.IPC, want)
+	}
+	// Folding the FP wire stages speeds the chain up by the latency
+	// ratio.
+	folded, _ := Run(cfg.Apply(Fold{FPLatency: true}), prog)
+	ratio := folded.IPC / res.IPC
+	wantRatio := float64(cfg.FPLatency) / float64(cfg.FPLatency-2)
+	if ratio < wantRatio*0.95 || ratio > wantRatio*1.05 {
+		t.Fatalf("fold speedup = %.3f, want ~%.3f", ratio, wantRatio)
+	}
+}
+
+func TestMispredictPenalty(t *testing.T) {
+	cfg := PlanarConfig()
+	if cfg.MispredictPenalty() <= 30 {
+		t.Fatalf("mispredict penalty %d, paper requires >30", cfg.MispredictPenalty())
+	}
+	clean := make([]Inst, 10000)
+	dirty := make([]Inst, 10000)
+	for i := range clean {
+		clean[i] = Inst{Op: OpBranch}
+		dirty[i] = Inst{Op: OpBranch, Mispredicted: i%50 == 0}
+	}
+	a, err := Run(cfg, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycles <= a.Cycles {
+		t.Fatalf("mispredicts did not slow execution: %d vs %d", b.Cycles, a.Cycles)
+	}
+	if b.Mispredicts != 200 {
+		t.Fatalf("Mispredicts = %d, want 200", b.Mispredicts)
+	}
+	// Each mispredict costs roughly the pipeline loop.
+	perMiss := float64(b.Cycles-a.Cycles) / 200
+	if perMiss < float64(cfg.MispredictPenalty())*0.7 {
+		t.Fatalf("per-mispredict cost %.1f, want ~%d", perMiss, cfg.MispredictPenalty())
+	}
+}
+
+func TestLoadClasses(t *testing.T) {
+	cfg := PlanarConfig()
+	prog := []Inst{
+		{Op: OpLoad, Mem: MemL1},
+		{Op: OpLoad, Mem: MemL2},
+		{Op: OpLoad, Mem: MemMain},
+	}
+	res, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1Loads != 1 || res.L2Loads != 1 || res.MemLoads != 1 {
+		t.Fatalf("load classes: %+v", res)
+	}
+}
+
+func TestMemLoadDominatesChain(t *testing.T) {
+	cfg := PlanarConfig()
+	prog := make([]Inst, 2000)
+	for i := range prog {
+		if i%2 == 0 {
+			prog[i] = Inst{Op: OpLoad, Mem: MemMain, Dep1: 1}
+		} else {
+			prog[i] = Inst{Op: OpInt, Dep1: 1}
+		}
+	}
+	res, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each pair costs ~MemLatency.
+	perPair := float64(res.Cycles) / 1000
+	if perPair < float64(cfg.MemLatency)*0.9 {
+		t.Fatalf("dependent memory chain too fast: %.1f cyc/pair", perPair)
+	}
+}
+
+func TestStoreLifetimePressure(t *testing.T) {
+	cfg := PlanarConfig()
+	prog := make([]Inst, 30000)
+	for i := range prog {
+		prog[i] = Inst{Op: OpStore}
+	}
+	base, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := Run(cfg.Apply(Fold{StoreLife: true}), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Cycles >= base.Cycles {
+		t.Fatalf("shorter store lifetime did not help: %d vs %d", folded.Cycles, base.Cycles)
+	}
+}
+
+func TestEveryFoldHelpsOrIsNeutral(t *testing.T) {
+	cfg := PlanarConfig()
+	// A mixed program exercising all paths.
+	prog := make([]Inst, 40000)
+	for i := range prog {
+		switch i % 7 {
+		case 0:
+			prog[i] = Inst{Op: OpLoad, Mem: MemL1, Dep1: 2, FeedsFP: true}
+		case 1:
+			prog[i] = Inst{Op: OpFP, Dep1: 1, Dep2: 7}
+		case 2, 3:
+			prog[i] = Inst{Op: OpInt, Dep1: 1}
+		case 4:
+			prog[i] = Inst{Op: OpStore, Dep1: 3}
+		case 5:
+			prog[i] = Inst{Op: OpBranch, Mispredicted: i%70 == 5}
+		default:
+			prog[i] = Inst{Op: OpSIMD, Dep1: 4}
+		}
+	}
+	base, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := []Fold{
+		{FrontEnd: true}, {TraceCache: true}, {Rename: true}, {FPLatency: true},
+		{IntRF: true}, {DCache: true}, {Loop: true}, {RetireDealc: true},
+		{FPLoad: true}, {StoreLife: true}, FullFold(),
+	}
+	var best float64
+	for _, f := range folds {
+		res, err := Run(cfg.Apply(f), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IPC < base.IPC-1e-9 {
+			t.Errorf("fold %+v hurt IPC: %.4f < %.4f", f, res.IPC, base.IPC)
+		}
+		if res.IPC > best {
+			best = res.IPC
+		}
+	}
+	full, _ := Run(cfg.Apply(FullFold()), prog)
+	if full.IPC < best-1e-9 {
+		t.Errorf("full fold %.4f below best single fold %.4f", full.IPC, best)
+	}
+}
+
+func TestStagesEliminated(t *testing.T) {
+	cfg := PlanarConfig()
+	removed, total := cfg.StagesEliminated(FullFold())
+	pct := float64(removed) / float64(total) * 100
+	// Paper: ~25% of all pipe stages eliminated.
+	if pct < 20 || pct > 30 {
+		t.Fatalf("stages eliminated = %.1f%%, want ~25%%", pct)
+	}
+	r, _ := cfg.StagesEliminated(Fold{})
+	if r != 0 {
+		t.Fatalf("empty fold removed %d stages", r)
+	}
+}
+
+func TestApplyNeverGoesNegative(t *testing.T) {
+	cfg := PlanarConfig().Apply(FullFold())
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("folded config invalid: %v", err)
+	}
+}
+
+// Property: IPC never exceeds fetch width and cycles grow monotonically
+// with program length.
+func TestIPCBoundsQuick(t *testing.T) {
+	cfg := PlanarConfig()
+	f := func(ops []uint8) bool {
+		if len(ops) == 0 {
+			return true
+		}
+		prog := make([]Inst, len(ops))
+		for i, o := range ops {
+			prog[i] = Inst{Op: OpType(o % 6), Dep1: int32(o % 5)}
+			if prog[i].Op == OpLoad {
+				prog[i].Mem = MemClass(o % 3)
+			}
+		}
+		res, err := Run(cfg, prog)
+		if err != nil {
+			return false
+		}
+		return res.IPC <= float64(cfg.FetchWidth)+1e-9 && res.Cycles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package wire models global interconnect delay — the quantity 3D
+// stacking exists to remove. It converts Manhattan distances on a
+// floorplan into repeated-wire RC delays and pipe-stage counts, so
+// that the Logic+Logic study's stage eliminations can be *derived*
+// from the planar and folded floorplans instead of asserted.
+//
+// The model is the standard one for 90 nm-era global wiring (the
+// paper's companion work, Nelson et al., "A 3D Interconnect
+// Methodology Applied to ia32-class Architectures", treats the same
+// problem): optimally repeated wire has delay linear in length, and a
+// signal consumes a pipe stage for every clock period of wire delay it
+// accumulates beyond the receiving latch's slack.
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"diestack/internal/floorplan"
+)
+
+// Technology describes the global wiring of a process/clock pair.
+type Technology struct {
+	// DelayPsPerMM is the delay of optimally repeated global wire.
+	// 90 nm global metal runs ~55-75 ps/mm after repeater insertion.
+	DelayPsPerMM float64
+	// ClockPs is the cycle time in picoseconds.
+	ClockPs float64
+	// LatchOverheadPs is the setup+clk-to-q cost of each pipe latch,
+	// reducing the wire budget of every stage.
+	LatchOverheadPs float64
+	// DieToDiePs is the cost of crossing the face-to-face bond once.
+	// The paper: d2d vias have the RC of roughly a third of a
+	// conventional via stack — essentially free next to millimeters of
+	// global wire.
+	DieToDiePs float64
+}
+
+// Validate reports configuration errors.
+func (t Technology) Validate() error {
+	if t.DelayPsPerMM <= 0 || t.ClockPs <= 0 {
+		return fmt.Errorf("wire: non-positive delay or clock in %+v", t)
+	}
+	if t.LatchOverheadPs < 0 || t.DieToDiePs < 0 {
+		return fmt.Errorf("wire: negative overhead in %+v", t)
+	}
+	if t.LatchOverheadPs >= t.ClockPs {
+		return fmt.Errorf("wire: latch overhead %g >= clock %g", t.LatchOverheadPs, t.ClockPs)
+	}
+	return nil
+}
+
+// Pentium4Era returns a 90 nm-class technology at the deep-pipeline
+// design point: a ~3.8 GHz clock (263 ps), 55 ps/mm repeated global
+// wire, 40 ps of latch overhead per stage, and a 5 ps d2d crossing.
+func Pentium4Era() Technology {
+	return Technology{
+		DelayPsPerMM:    55,
+		ClockPs:         263,
+		LatchOverheadPs: 40,
+		DieToDiePs:      5,
+	}
+}
+
+// DelayPs returns the repeated-wire delay of a lateral run of the
+// given length in meters, plus crossings die-to-die bond crossings.
+func (t Technology) DelayPs(lengthM float64, crossings int) float64 {
+	return lengthM*1e3*t.DelayPsPerMM + float64(crossings)*t.DieToDiePs
+}
+
+// StagesFor converts a wire delay into the number of *dedicated* wire
+// pipe stages the signal needs: each stage offers ClockPs minus the
+// latch overhead of usable wire time, and wire shorter than one
+// stage's budget is absorbed into the producing and consuming logic
+// stages (no extra latch).
+func (t Technology) StagesFor(delayPs float64) int {
+	if delayPs <= 0 {
+		return 0
+	}
+	usable := t.ClockPs - t.LatchOverheadPs
+	return int(math.Floor(delayPs / usable))
+}
+
+// PathStages returns the dedicated wire pipe stages of the worst-case
+// path between two named blocks, using the paper's path semantics: on
+// a planar die the signal traverses the full extent of both blocks
+// ("from the far edge of the data cache, across the data cache to the
+// farthest functional unit"), so the distance is the center distance
+// plus each block's traversal radius. When the blocks sit on opposite
+// dies the fold lets the signal hop at each block's center — half the
+// traversal in each block — plus one bond crossing.
+func (t Technology) PathStages(f *floorplan.Floorplan, a, b string) (int, error) {
+	ba, okA := f.Block(a)
+	bb, okB := f.Block(b)
+	if !okA || !okB {
+		return 0, fmt.Errorf("wire: path %s-%s references a missing block", a, b)
+	}
+	ax, ay := ba.Center()
+	bx, by := bb.Center()
+	center := math.Abs(ax-bx) + math.Abs(ay-by)
+	rA := (ba.W + ba.H) / 2
+	rB := (bb.W + bb.H) / 2
+	var dist float64
+	crossings := 0
+	if ba.Die == bb.Die {
+		dist = center + rA + rB
+	} else {
+		dist = center + (rA+rB)/2
+		crossings = 1
+	}
+	return t.StagesFor(t.DelayPs(dist, crossings)), nil
+}
+
+// PathReport compares one signal path across floorplans.
+type PathReport struct {
+	Path   string
+	Stages []int // one entry per floorplan, in call order
+}
+
+// ComparePaths computes the wire stages of each named path (a, b
+// pairs) on every floorplan, typically planar vs folded. All paths
+// must exist on all floorplans.
+func (t Technology) ComparePaths(paths [][2]string, plans ...*floorplan.Floorplan) ([]PathReport, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]PathReport, 0, len(paths))
+	for _, p := range paths {
+		rep := PathReport{Path: p[0] + "-" + p[1]}
+		for _, f := range plans {
+			st, err := t.PathStages(f, p[0], p[1])
+			if err != nil {
+				return nil, err
+			}
+			rep.Stages = append(rep.Stages, st)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"testing"
+
+	"diestack/internal/floorplan"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Pentium4Era().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Pentium4Era()
+	bad.ClockPs = 0
+	if bad.Validate() == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = Pentium4Era()
+	bad.LatchOverheadPs = 300
+	if bad.Validate() == nil {
+		t.Error("latch overhead exceeding the clock accepted")
+	}
+	bad = Pentium4Era()
+	bad.DieToDiePs = -1
+	if bad.Validate() == nil {
+		t.Error("negative d2d accepted")
+	}
+}
+
+func TestDelayAndStages(t *testing.T) {
+	tech := Pentium4Era()
+	// 1 mm of wire: 55 ps — absorbed into the existing logic stages.
+	if s := tech.StagesFor(tech.DelayPs(1e-3, 0)); s != 0 {
+		t.Errorf("1mm = %d stages, want 0 (absorbed)", s)
+	}
+	// Zero wire: zero stages.
+	if s := tech.StagesFor(0); s != 0 {
+		t.Errorf("0mm = %d stages", s)
+	}
+	// 5 mm: 275 ps -> one dedicated stage at 223 ps/stage.
+	if s := tech.StagesFor(tech.DelayPs(5e-3, 0)); s != 1 {
+		t.Errorf("5mm = %d stages, want 1", s)
+	}
+	// 10 mm: 550 ps -> two dedicated stages.
+	if s := tech.StagesFor(tech.DelayPs(10e-3, 0)); s != 2 {
+		t.Errorf("10mm = %d stages, want 2", s)
+	}
+	// The bond crossing is nearly free: it never adds a stage by
+	// itself.
+	if tech.DelayPs(0, 1) > 10 {
+		t.Errorf("d2d crossing costs %g ps, should be negligible", tech.DelayPs(0, 1))
+	}
+}
+
+func TestPathStagesPlanarVsFolded(t *testing.T) {
+	tech := Pentium4Era()
+	planar := floorplan.Pentium4Planar()
+	folded := floorplan.Pentium4ThreeD()
+
+	// The paper's flagship example: the worst-case load-to-use path
+	// costs "at least one clock cycle of wire delay entirely due to
+	// planar floorplan limitations", which the fold eliminates.
+	pl, err := tech.PathStages(planar, "D$", "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := tech.PathStages(folded, "D$", "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 1 {
+		t.Errorf("planar load-to-use = %d wire stages, paper says at least 1", pl)
+	}
+	if fd != 0 {
+		t.Errorf("folded load-to-use = %d wire stages, want 0 (vertical overlap)", fd)
+	}
+
+	// The FP register read path: two cycles of planar wire (RF to FP
+	// across SIMD), eliminated by the fold.
+	pl, err = tech.PathStages(planar, "RF", "FP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err = tech.PathStages(folded, "RF", "FP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 2 {
+		t.Errorf("planar RF-FP = %d wire stages, paper allocates 2", pl)
+	}
+	if fd != 0 {
+		t.Errorf("folded RF-FP = %d wire stages, want 0", fd)
+	}
+}
+
+func TestPathStagesMissingBlock(t *testing.T) {
+	tech := Pentium4Era()
+	if _, err := tech.PathStages(floorplan.Pentium4Planar(), "nope", "F"); err == nil {
+		t.Fatal("missing block accepted")
+	}
+}
+
+func TestComparePaths(t *testing.T) {
+	tech := Pentium4Era()
+	reps, err := tech.ComparePaths(
+		[][2]string{{"D$", "F"}, {"RF", "FP"}, {"sched", "F"}},
+		floorplan.Pentium4Planar(), floorplan.Pentium4ThreeD(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	for _, r := range reps {
+		if len(r.Stages) != 2 {
+			t.Fatalf("%s has %d columns", r.Path, len(r.Stages))
+		}
+		if r.Stages[1] > r.Stages[0] {
+			t.Errorf("%s: fold increased wire stages %d -> %d", r.Path, r.Stages[0], r.Stages[1])
+		}
+	}
+	// Invalid technology is rejected.
+	bad := Technology{}
+	if _, err := bad.ComparePaths(nil, floorplan.Pentium4Planar()); err == nil {
+		t.Error("invalid technology accepted")
+	}
+	// Missing path propagates.
+	if _, err := tech.ComparePaths([][2]string{{"x", "y"}}, floorplan.Pentium4Planar()); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+func TestTotalWireStageReduction(t *testing.T) {
+	// Across the performance-critical paths, the fold should remove a
+	// substantial fraction of the wire stages — the mechanism behind
+	// Table 4's ~25% figure.
+	tech := Pentium4Era()
+	paths := [][2]string{
+		{"D$", "F"}, {"RF", "FP"}, {"RF", "SIMD"},
+		{"sched", "F"}, {"sched", "FP"}, {"TC", "rename"}, {"rename", "sched"},
+	}
+	reps, err := tech.ComparePaths(paths, floorplan.Pentium4Planar(), floorplan.Pentium4ThreeD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after int
+	for _, r := range reps {
+		before += r.Stages[0]
+		after += r.Stages[1]
+	}
+	if before == 0 {
+		t.Fatal("no planar wire stages found at all")
+	}
+	reduction := float64(before-after) / float64(before)
+	if reduction < 0.3 {
+		t.Errorf("wire stages reduced only %.0f%% (%d -> %d)", reduction*100, before, after)
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+
+	"diestack/internal/trace"
+)
+
+func BenchmarkGenerateGauss(b *testing.B) {
+	bench, _ := ByName("gauss")
+	for i := 0; i < b.N; i++ {
+		recs := bench.Generate(1, 1.0)
+		b.ReportMetric(float64(len(recs)), "records/op")
+	}
+}
+
+func BenchmarkGenerateSVM(b *testing.B) {
+	bench, _ := ByName("svm")
+	for i := 0; i < b.N; i++ {
+		recs := bench.Generate(1, 1.0)
+		b.ReportMetric(float64(len(recs)), "records/op")
+	}
+}
+
+func BenchmarkInterleave(b *testing.B) {
+	// Build two thread-local record lists with dense local ids.
+	mk := func(n int) []trace.Record {
+		recs := make([]trace.Record, n)
+		for i := range recs {
+			dep := trace.NoDep
+			if i > 0 && i%4 == 0 {
+				dep = uint64(i - 1)
+			}
+			recs[i] = trace.Record{ID: uint64(i), Dep: dep, Addr: uint64(i) * 64}
+		}
+		return recs
+	}
+	t0, t1 := mk(100_000), mk(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Interleave(t0, t1)
+		if len(out) != 200_000 {
+			b.Fatal("bad interleave")
+		}
+	}
+}

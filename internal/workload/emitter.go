@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"diestack/internal/stats"
+	"diestack/internal/trace"
+)
+
+// lineBytes is the coherence/fill granule all generators emit at.
+// Touching every byte of a structure would only replicate L1 hits; the
+// hierarchy study cares about line-granular behaviour.
+const lineBytes = 64
+
+// region computes a disjoint 1 GB address region base for a data
+// structure. Generators give each structure its own region so traces
+// are self-describing and structures never alias.
+func region(i int) uint64 { return uint64(i+1) << 30 }
+
+// emitter builds one thread's record list with thread-local ids. Use
+// Interleave to merge threads into a global trace.
+type emitter struct {
+	recs []trace.Record
+	rng  *stats.RNG
+	// codeBase/codeLines model the thread's hot loop body for the
+	// occasional instruction fetch record.
+	codeBase  uint64
+	codeLines int
+	codePos   int
+	dataCount int
+	// ifetchEvery inserts one ifetch per that many data references
+	// (0 disables).
+	ifetchEvery int
+}
+
+// newEmitter creates an emitter for one thread. Threads of the same
+// benchmark share the seed but diverge by thread index.
+func newEmitter(seed uint64, threadIdx int) *emitter {
+	return &emitter{
+		rng:         stats.NewRNG(seed*0x9e3779b9 + uint64(threadIdx)*0x85ebca6b + 1),
+		codeBase:    region(30) + uint64(threadIdx)<<20,
+		codeLines:   64, // a 4 KB hot loop: always L1I-resident
+		ifetchEvery: 16,
+	}
+}
+
+// none is the local "no dependency" marker, mirroring trace.NoDep.
+const none = trace.NoDep
+
+func (e *emitter) emit(kind trace.Kind, addr, dep uint64, reps uint8) uint64 {
+	id := uint64(len(e.recs))
+	e.recs = append(e.recs, trace.Record{
+		ID:   id,
+		Dep:  dep,
+		Addr: addr,
+		PC:   e.codeBase + uint64(e.codePos)*4,
+		Kind: kind,
+		Reps: reps,
+	})
+	if kind != trace.Ifetch {
+		e.dataCount++
+		if e.ifetchEvery > 0 && e.dataCount%e.ifetchEvery == 0 {
+			e.codePos = (e.codePos + 1) % (e.codeLines * (lineBytes / 4))
+			e.emitIfetch()
+		}
+	}
+	return id
+}
+
+func (e *emitter) emitIfetch() {
+	id := uint64(len(e.recs))
+	addr := e.codeBase + uint64(e.codePos/(lineBytes/4))*lineBytes
+	e.recs = append(e.recs, trace.Record{
+		ID: id, Dep: none, Addr: addr, PC: addr, Kind: trace.Ifetch, Reps: 3,
+	})
+}
+
+// denseReps is the repeat count for dense sequential access: eight
+// doubles per 64-byte line means one record plus seven repeats.
+const denseReps = 7
+
+// load emits an independent single load and returns its local id.
+func (e *emitter) load(addr uint64) uint64 { return e.emit(trace.Load, addr, none, 0) }
+
+// loadLine emits a dense read of a full line (8 sequential doubles).
+func (e *emitter) loadLine(addr uint64) uint64 { return e.emit(trace.Load, addr, none, denseReps) }
+
+// loadDep emits a single load that must wait for record dep.
+func (e *emitter) loadDep(addr, dep uint64) uint64 { return e.emit(trace.Load, addr, dep, 0) }
+
+// loadLineDep emits a dense line read dependent on record dep.
+func (e *emitter) loadLineDep(addr, dep uint64) uint64 {
+	return e.emit(trace.Load, addr, dep, denseReps)
+}
+
+// store emits an independent single store.
+func (e *emitter) store(addr uint64) uint64 { return e.emit(trace.Store, addr, none, 0) }
+
+// storeLine emits a dense write of a full line.
+func (e *emitter) storeLine(addr uint64) uint64 { return e.emit(trace.Store, addr, none, denseReps) }
+
+// storeDep emits a single store that must wait for record dep.
+func (e *emitter) storeDep(addr, dep uint64) uint64 { return e.emit(trace.Store, addr, dep, 0) }
+
+// storeLineDep emits a dense line write dependent on record dep.
+func (e *emitter) storeLineDep(addr, dep uint64) uint64 {
+	return e.emit(trace.Store, addr, dep, denseReps)
+}
+
+// loadN emits a load followed by reps same-line repeats.
+func (e *emitter) loadN(addr uint64, reps uint8) uint64 { return e.emit(trace.Load, addr, none, reps) }
+
+// loadDepN is loadN with a dependency on record dep.
+func (e *emitter) loadDepN(addr, dep uint64, reps uint8) uint64 {
+	return e.emit(trace.Load, addr, dep, reps)
+}
+
+// storeN emits a store followed by reps same-line repeats.
+func (e *emitter) storeN(addr uint64, reps uint8) uint64 {
+	return e.emit(trace.Store, addr, none, reps)
+}
+
+// sweep emits dense line reads over [base, base+bytes), returning the
+// id of the last record. Models a streaming read of a structure.
+func (e *emitter) sweep(base, bytes uint64) uint64 {
+	last := none
+	for off := uint64(0); off < bytes; off += lineBytes {
+		last = e.loadLine(base + off)
+	}
+	return last
+}
+
+// sweepStore is sweep for writes.
+func (e *emitter) sweepStore(base, bytes uint64) uint64 {
+	last := none
+	for off := uint64(0); off < bytes; off += lineBytes {
+		last = e.storeLine(base + off)
+	}
+	return last
+}
+
+// last returns the id of the most recent record, or none when empty.
+func (e *emitter) last() uint64 {
+	if len(e.recs) == 0 {
+		return none
+	}
+	return uint64(len(e.recs) - 1)
+}
+
+// dims derives an integer dimension from a base size and the scale
+// factor, with a floor to keep degenerate problems meaningful.
+func dims(base int, scale float64, min int) int {
+	v := int(float64(base) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}

@@ -1,0 +1,19 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"diestack/internal/workload"
+)
+
+// Each RMS benchmark reports whether its working set fits the planar
+// 4 MB baseline — the partition that shapes Figure 5.
+func ExampleByName() {
+	for _, name := range []string{"dSym", "gauss"} {
+		b, _ := workload.ByName(name)
+		fmt.Printf("%s: fits 4MB = %v\n", b.Name, b.FitsIn4MB)
+	}
+	// Output:
+	// dSym: fits 4MB = true
+	// gauss: fits 4MB = false
+}

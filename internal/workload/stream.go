@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"io"
+
+	"diestack/internal/trace"
+)
+
+// RepeatStream replays a benchmark's trace end to end `repeats` times
+// with record ids (and dependencies) rebased on every pass, so a
+// bounded in-memory trace drives arbitrarily long simulations — the
+// paper replays a billion references per benchmark, which would not
+// fit in memory as explicit records. The steady-state behaviour of an
+// iterative kernel is exactly a repetition of its outer loop, so the
+// repeated trace is the faithful extension of the captured one.
+type RepeatStream struct {
+	recs    []trace.Record
+	repeats int
+	pass    int
+	pos     int
+	base    uint64
+}
+
+// NewRepeatStream wraps recs. repeats < 1 is treated as 1. The slice
+// is not copied.
+func NewRepeatStream(recs []trace.Record, repeats int) *RepeatStream {
+	if repeats < 1 {
+		repeats = 1
+	}
+	return &RepeatStream{recs: recs, repeats: repeats}
+}
+
+// Stream builds the benchmark's trace once and repeats it.
+func Stream(b Benchmark, seed uint64, scale float64, repeats int) *RepeatStream {
+	return NewRepeatStream(b.Generate(seed, scale), repeats)
+}
+
+// Len returns the total number of records the stream will deliver.
+func (s *RepeatStream) Len() int { return len(s.recs) * s.repeats }
+
+// Next implements trace.Stream.
+func (s *RepeatStream) Next() (trace.Record, error) {
+	if s.pos >= len(s.recs) {
+		s.pass++
+		if s.pass >= s.repeats {
+			return trace.Record{}, io.EOF
+		}
+		s.base += uint64(len(s.recs))
+		s.pos = 0
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	r.ID += s.base
+	if r.Dep != trace.NoDep {
+		r.Dep += s.base
+	}
+	return r, nil
+}
+
+// Reset rewinds the stream to the first record of the first pass.
+func (s *RepeatStream) Reset() {
+	s.pass, s.pos, s.base = 0, 0, 0
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"diestack/internal/trace"
+)
+
+func TestRepeatStreamRebasesIDs(t *testing.T) {
+	recs := []trace.Record{
+		{ID: 0, Dep: trace.NoDep, Addr: 1},
+		{ID: 1, Dep: 0, Addr: 2},
+	}
+	s := NewRepeatStream(recs, 3)
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := trace.Collect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("collected %d", len(got))
+	}
+	// IDs strictly increase and deps stay backwards across passes.
+	if err := trace.Validate(trace.NewSliceStream(got)); err != nil {
+		t.Fatal(err)
+	}
+	if got[3].ID != 3 || got[3].Dep != 2 {
+		t.Fatalf("second pass not rebased: %+v", got[3])
+	}
+	// Exhausted stream keeps returning EOF.
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Fatal("EOF not sticky")
+	}
+	s.Reset()
+	r, err := s.Next()
+	if err != nil || r.ID != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestRepeatStreamDefaults(t *testing.T) {
+	s := NewRepeatStream([]trace.Record{{ID: 0, Dep: trace.NoDep}}, 0)
+	if s.Len() != 1 {
+		t.Fatalf("repeats<1 should clamp to 1, Len=%d", s.Len())
+	}
+}
+
+func TestStreamDrivesLongReplay(t *testing.T) {
+	// A small benchmark repeated several times validates end to end.
+	b, _ := ByName("sSym")
+	s := Stream(b, 1, 0.1, 4)
+	got, err := trace.Collect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != s.Len() {
+		t.Fatalf("collected %d, want %d", len(got), s.Len())
+	}
+	if err := trace.Validate(trace.NewSliceStream(got)); err != nil {
+		t.Fatal(err)
+	}
+	// Repetition preserves the footprint: same lines, more passes.
+	single := b.Generate(1, 0.1)
+	if Footprint(got) != Footprint(single) {
+		t.Fatalf("footprint changed across repeats: %d vs %d", Footprint(got), Footprint(single))
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload synthesizes the two-threaded RMS (Recognition,
+// Mining, Synthesis) benchmark traces used in the Memory+Logic study
+// (Table 1 of the paper).
+//
+// The paper traced real RMS applications on a proprietary full-system
+// SMP simulator. Those traces are not available, so each benchmark is
+// replaced by a generator that walks the memory access pattern of the
+// underlying algorithm — same data structures, same loop structure,
+// same split of work across the two threads — and emits
+// dependency-annotated trace records. What matters for the study
+// (working-set footprint, streaming vs reuse, irregularity of access,
+// dependence chains that serialize misses) is preserved; instruction
+// semantics, which the memory hierarchy simulator never sees, are not
+// modeled.
+//
+// Footprints are sized so the benchmarks partition the same way as in
+// the paper's Figure 5: conj, dSym, sSym, sAVDF, sAVIF, and svd fit in
+// the 4 MB baseline cache, while gauss, pcg, sMVM, sTrans, sUS, and
+// svm have multi-megabyte working sets that respond to stacked 32/64 MB
+// caches.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"diestack/internal/trace"
+)
+
+// Benchmark is one RMS workload.
+type Benchmark struct {
+	// Name is the paper's benchmark name (Table 1).
+	Name string
+	// Description is the paper's one-line characterization.
+	Description string
+	// FitsIn4MB records the paper's observed behaviour: true if the
+	// working set fits the baseline cache (no capacity response).
+	FitsIn4MB bool
+	// Generate produces the two-threaded trace. scale >= 0.1 grows or
+	// shrinks the problem (and the footprint) roughly linearly;
+	// scale=1 is the reference size. The trace is deterministic in
+	// seed.
+	Generate func(seed uint64, scale float64) []trace.Record
+}
+
+var registry = []Benchmark{
+	{"conj", "Conjugate Gradient Solver", true, genConj},
+	{"dSym", "Dense Matrix Multiplication", true, genDSym},
+	{"gauss", "Linear Equation Solver using Gauss-Jordan Elimination", false, genGauss},
+	{"pcg", "Preconditioned Conjugate Gradient Solver (Cholesky, Red-Black)", false, genPCG},
+	{"sMVM", "Sparse Matrix Multiplication", false, genSMVM},
+	{"sSym", "Symmetrical Sparse Matrix Multiplication", true, genSSym},
+	{"sTrans", "Transposed Sparse Matrix Multiplication", false, genSTrans},
+	{"sAVDF", "Structural Rigidity Computation, AVDF Kernel", true, genSAVDF},
+	{"sAVIF", "Structural Rigidity Computation, AVIF Kernel", true, genSAVIF},
+	{"sUS", "Structural Rigidity Computation, US Kernel", false, genSUS},
+	{"svd", "Singular Value Decomposition, Jacobi Method", true, genSVD},
+	{"svm", "Pattern Recognition for Face Recognition in Images", false, genSVM},
+}
+
+// All returns the twelve RMS benchmarks in the paper's Table 1 order.
+func All() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the benchmark names in paper order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, b := range registry {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName looks a benchmark up by its paper name (case-sensitive).
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Footprint returns the number of distinct 64-byte lines touched by a
+// record slice, a direct measure of working-set size.
+func Footprint(recs []trace.Record) int {
+	lines := make(map[uint64]struct{})
+	for _, r := range recs {
+		lines[r.Addr>>6] = struct{}{}
+	}
+	return len(lines)
+}
+
+// FootprintBytes returns the working set in bytes (64 B per line).
+func FootprintBytes(recs []trace.Record) uint64 {
+	return uint64(Footprint(recs)) * 64
+}
+
+// Interleave merges per-thread record slices (each with thread-local
+// ids and thread-local dependencies) into one global-order trace,
+// alternating between threads record by record, the way the SMP trace
+// generator sees both processors advance together. Dependencies are
+// remapped to the new global ids; the CPU field is overwritten with
+// the thread index.
+func Interleave(threads ...[]trace.Record) []trace.Record {
+	total := 0
+	for _, th := range threads {
+		total += len(th)
+	}
+	out := make([]trace.Record, 0, total)
+	// Thread-local ids are dense (emitters assign them sequentially),
+	// so a slice maps local id -> global id.
+	remap := make([][]uint64, len(threads))
+	pos := make([]int, len(threads))
+	for i := range remap {
+		remap[i] = make([]uint64, len(threads[i]))
+	}
+	next := uint64(0)
+	for len(out) < total {
+		for ti := range threads {
+			if pos[ti] >= len(threads[ti]) {
+				continue
+			}
+			r := threads[ti][pos[ti]]
+			pos[ti]++
+			local := r.ID
+			r.ID = next
+			r.CPU = uint8(ti)
+			if r.Dep != trace.NoDep {
+				if r.Dep >= local {
+					panic(fmt.Sprintf("workload: thread %d record %d depends on non-earlier local id %d",
+						ti, local, r.Dep))
+				}
+				r.Dep = remap[ti][r.Dep]
+			}
+			remap[ti][local] = next
+			next++
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Mix summarizes the composition of a trace for reporting and tests.
+type Mix struct {
+	Loads, Stores, Ifetches int
+	Deps                    int // records carrying a dependency
+}
+
+// Summarize computes the Mix of a record slice.
+func Summarize(recs []trace.Record) Mix {
+	var m Mix
+	for _, r := range recs {
+		switch r.Kind {
+		case trace.Load:
+			m.Loads++
+		case trace.Store:
+			m.Stores++
+		case trace.Ifetch:
+			m.Ifetches++
+		}
+		if r.HasDep() {
+			m.Deps++
+		}
+	}
+	return m
+}
+
+// Regions returns the distinct 1 GB address regions present in a
+// trace, sorted. Generators place each data structure in its own
+// region, so this identifies which structures a trace touches.
+func Regions(recs []trace.Record) []uint64 {
+	set := make(map[uint64]struct{})
+	for _, r := range recs {
+		set[r.Addr>>30] = struct{}{}
+	}
+	out := make([]uint64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
