@@ -31,6 +31,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *insts <= 0 {
+		fatal(fmt.Errorf("-n must be positive, got %d", *insts))
+	}
+	if *grid < 0 {
+		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
+	}
+
 	if *autoOnly {
 		if err := printAutoFold(*grid); err != nil {
 			fatal(err)

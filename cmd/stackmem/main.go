@@ -10,16 +10,26 @@
 //	stackmem -config         print the Table 3 machine parameters
 //	stackmem -power          print the Figure 7 power budgets
 //	stackmem -thermal        print the Figure 8 temperatures
+//
+// Fault injection (stacked DRAM cache only; deterministic per seed):
+//
+//	stackmem -bench gauss -fault-uncorr 100          ECC storm
+//	stackmem -bench gauss -fault-dead-banks 0,1,2,3  bank kill
+//	stackmem -bench gauss -fault-tsv 0.25            via lane loss
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"diestack/internal/core"
+	"diestack/internal/fault"
 	"diestack/internal/memhier"
 	"diestack/internal/thermal"
 	"diestack/internal/trace"
@@ -37,12 +47,29 @@ func main() {
 		powerOnly  = flag.Bool("power", false, "print the Figure 7 power budgets and exit")
 		thermOnly  = flag.Bool("thermal", false, "print the Figure 8 temperatures and exit")
 		pngOut     = flag.String("png", "", "write the 32MB stack's thermal map (Figure 8b) to this PNG file")
+
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed = same faults)")
+		faultCorr   = flag.Float64("fault-corr", 0, "correctable ECC errors per million stacked-DRAM reads")
+		faultUncorr = flag.Float64("fault-uncorr", 0, "uncorrectable ECC errors per million stacked-DRAM reads")
+		faultBanks  = flag.String("fault-dead-banks", "", "comma-separated dead stacked-DRAM bank indices")
+		faultTSV    = flag.Float64("fault-tsv", 0, "fraction of die-to-die via lanes failed, in [0,0.9]")
 	)
 	flag.Parse()
 
+	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
+		fatal(fmt.Errorf("-scale must be positive and finite, got %v", *scale))
+	}
+	if *grid < 0 {
+		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
+	}
+	fc, err := faultConfig(*faultSeed, *faultCorr, *faultUncorr, *faultBanks, *faultTSV)
+	if err != nil {
+		fatal(err)
+	}
+
 	switch {
 	case *traceFile != "":
-		if err := replayFile(*traceFile); err != nil {
+		if err := replayFile(*traceFile, fc); err != nil {
 			fatal(err)
 		}
 	case *showConfig:
@@ -59,7 +86,7 @@ func main() {
 			}
 		}
 	default:
-		if err := runPerf(*bench, *seed, *scale); err != nil {
+		if err := runPerf(*bench, *seed, *scale, fc); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
@@ -71,6 +98,29 @@ func main() {
 	}
 }
 
+// faultConfig assembles and validates the fault flag group.
+func faultConfig(seed uint64, corr, uncorr float64, deadBanks string, tsv float64) (fault.Config, error) {
+	fc := fault.Config{
+		Seed:                    seed,
+		CorrectablePerMAccess:   corr,
+		UncorrectablePerMAccess: uncorr,
+		TSVFailFrac:             tsv,
+	}
+	if deadBanks != "" {
+		for _, s := range strings.Split(deadBanks, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fault.Config{}, fmt.Errorf("-fault-dead-banks: bad index %q: %w", s, err)
+			}
+			fc.DeadBanks = append(fc.DeadBanks, b)
+		}
+	}
+	if err := fc.Validate(); err != nil {
+		return fault.Config{}, fmt.Errorf("fault flags: %w", err)
+	}
+	return fc, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "stackmem:", err)
 	os.Exit(1)
@@ -78,19 +128,24 @@ func fatal(err error) {
 
 // replayFile runs a tracegen-produced binary trace through all four
 // configurations.
-func replayFile(path string) error {
+func replayFile(path string, fc fault.Config) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replaying %s on the four configurations:\n", path)
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "capacity\tCPMA\tBW GB/s\ttraffic MB\trecords")
+	header := "capacity\tCPMA\tBW GB/s\ttraffic MB\trecords"
+	if fc.Enabled() {
+		header += "\tECC fix\tpoisoned\tremapped"
+	}
+	fmt.Fprintln(w, header)
 	for _, o := range core.MemoryOptions() {
 		cfg, err := o.HierarchyConfig()
 		if err != nil {
 			return err
 		}
+		cfg.Faults = fc
 		sim, err := memhier.New(cfg)
 		if err != nil {
 			return err
@@ -99,8 +154,13 @@ func replayFile(path string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.1f\t%d\n",
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.1f\t%d",
 			o, res.CPMA, res.BandwidthGBs, float64(res.OffDieBytes)/(1<<20), res.Records)
+		if fc.Enabled() {
+			fmt.Fprintf(w, "\t%d\t%d\t%d",
+				res.Faults.Corrected, res.Faults.LinesPoisoned, res.DRAMCache.Remapped)
+		}
+		fmt.Fprintln(w)
 	}
 	return w.Flush()
 }
@@ -126,7 +186,7 @@ func printConfig() {
 		base.BusBytesPerCycle*base.CoreGHz, base.CoreGHz, base.BusPicoJoulePerBit)
 }
 
-func runPerf(bench string, seed uint64, scale float64) error {
+func runPerf(bench string, seed uint64, scale float64, fc fault.Config) error {
 	var benches []workload.Benchmark
 	if bench != "" {
 		b, ok := workload.ByName(bench)
@@ -139,21 +199,39 @@ func runPerf(bench string, seed uint64, scale float64) error {
 	}
 
 	fmt.Printf("Figure 5 — CPMA and off-die bandwidth, scale %.2f:\n", scale)
+	if fc.Enabled() {
+		fmt.Printf("fault injection on the stacked DRAM cache: seed %d, %g corr + %g uncorr per M reads, %d dead bank(s), %.0f%% via lanes lost\n",
+			fc.Seed, fc.CorrectablePerMAccess, fc.UncorrectablePerMAccess,
+			len(fc.DeadBanks), fc.TSVFailFrac*100)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "benchmark\tcapacity\tCPMA\tBW GB/s\tbus W\ttraffic MB")
+	header := "benchmark\tcapacity\tCPMA\tBW GB/s\tbus W\ttraffic MB"
+	if fc.Enabled() {
+		header += "\tECC fix\tpoisoned\tunrec\tremapped"
+	}
+	fmt.Fprintln(w, header)
 	opts := core.MemoryOptions()
 
 	type agg struct{ base, big core.MemoryPerf }
 	var rows []agg
+	var faultTotal fault.Stats
+	var remapTotal uint64
 	for _, b := range benches {
 		var a agg
 		for _, o := range opts {
-			p, err := core.RunMemoryPerf(o, b, seed, scale)
+			p, err := core.RunMemoryPerfWithFaults(o, b, seed, scale, fc)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%.3f\t%.1f\n",
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%.3f\t%.1f",
 				b.Name, o, p.CPMA, p.BandwidthGBs, p.BusPowerW, float64(p.OffDieBytes)/(1<<20))
+			if fc.Enabled() {
+				fmt.Fprintf(w, "\t%d\t%d\t%d\t%d",
+					p.Faults.Corrected, p.Faults.LinesPoisoned, p.Faults.Unrecovered, p.DRAMRemapped)
+				faultTotal.Merge(p.Faults)
+				remapTotal += p.DRAMRemapped
+			}
+			fmt.Fprintln(w)
 			switch o {
 			case core.Planar4MB:
 				a.base = p
@@ -165,6 +243,11 @@ func runPerf(bench string, seed uint64, scale float64) error {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if fc.Enabled() {
+		fmt.Printf("\nfault totals: %d ECC checks, %d corrected, %d uncorrectable (%d refetches, %d unrecovered), %d bank remaps, %d retry cycles added\n",
+			faultTotal.ECCChecks, faultTotal.Corrected, faultTotal.Uncorrectable,
+			faultTotal.Refetches, faultTotal.Unrecovered, remapTotal, faultTotal.RetryCyclesAdded)
 	}
 
 	if len(rows) > 1 {

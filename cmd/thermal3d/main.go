@@ -9,14 +9,24 @@
 //	thermal3d -materials  Table 2 constants only
 //	thermal3d -baseline   Figure 6 maps only
 //	thermal3d -sweep      Figure 3 sweep only
+//
+// Dynamic thermal management (closed-loop DVFS on the 3D logic stack):
+//
+//	thermal3d -dtm -tmax 90                   hold 90C, report the cost
+//	thermal3d -dtm -tmax 90 -sensor-noise 2   with a noisy sensor
+//	thermal3d -dtm -tmax 90 -sensor-stuck 50  with a stuck sensor
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"diestack/internal/core"
+	"diestack/internal/dtm"
+	"diestack/internal/fault"
 	"diestack/internal/thermal"
 )
 
@@ -27,8 +37,31 @@ func main() {
 		sweepOnly = flag.Bool("sweep", false, "run the Figure 3 sensitivity sweep and exit")
 		grid      = flag.Int("grid", 0, "grid resolution (0 = default 64)")
 		pngOut    = flag.String("png", "", "also write the Figure 6 thermal map to this PNG file")
+
+		dtmOn      = flag.Bool("dtm", false, "run closed-loop thermal management on the 3D logic stack and exit")
+		tmax       = flag.Float64("tmax", 90, "DTM: peak temperature ceiling in degC")
+		dtmHyst    = flag.Float64("dtm-hyst", 4, "DTM: guard/dead band in degC — size it to the heat-up per sample interval")
+		dtmDt      = flag.Float64("dtm-dt", 0.25, "DTM: sample interval in seconds")
+		dtmSteps   = flag.Int("dtm-steps", 240, "DTM: number of samples")
+		dtmMinFreq = flag.Float64("dtm-minfreq", 0, "DTM: throttle floor as a fraction of nominal (0 = default)")
+
+		sensorNoise  = flag.Float64("sensor-noise", 0, "sensor fault: gaussian noise sigma in degC")
+		sensorOffset = flag.Float64("sensor-offset", 0, "sensor fault: constant calibration error in degC")
+		sensorStuck  = flag.Float64("sensor-stuck", math.NaN(), "sensor fault: stuck-at reading in degC")
+		faultSeed    = flag.Uint64("fault-seed", 0, "sensor fault schedule seed")
 	)
 	flag.Parse()
+
+	if *grid < 0 {
+		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
+	}
+	if *dtmOn {
+		if err := runDTM(*grid, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
+			*sensorNoise, *sensorOffset, *sensorStuck, *faultSeed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	all := !*matOnly && !*baseOnly && !*sweepOnly
 	if *matOnly || all {
@@ -46,6 +79,65 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runDTM integrates the 3D logic stack with the DTM controller in the
+// loop and reports the managed operating point and its cost.
+func runDTM(grid int, tmax, hyst, dt float64, steps int, minFreq, noise, offset, stuck float64, seed uint64) error {
+	cfg := dtm.Config{TmaxC: tmax, HysteresisC: hyst, MinFreq: minFreq}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("dtm flags: %w", err)
+	}
+	if dt <= 0 || math.IsNaN(dt) {
+		return fmt.Errorf("-dtm-dt must be positive, got %v", dt)
+	}
+	if steps <= 0 {
+		return fmt.Errorf("-dtm-steps must be positive, got %d", steps)
+	}
+	fc := fault.Config{Seed: seed, SensorNoiseC: noise, SensorOffsetC: offset}
+	if !math.IsNaN(stuck) {
+		fc.SensorStuckAt = true
+		fc.SensorStuckAtC = stuck
+	}
+	if err := fc.Validate(); err != nil {
+		return fmt.Errorf("sensor flags: %w", err)
+	}
+
+	res, err := core.RunManagedLogicThermal(core.Logic3D, grid, cfg, fc,
+		thermal.TransientOptions{Dt: dt, Steps: steps})
+	if err != nil && !errors.Is(err, dtm.ErrThermalRunaway) {
+		return err
+	}
+
+	fmt.Printf("DTM on the 3D logic stack (Tmax %.1f degC, %d samples at %.2fs):\n", tmax, steps, dt)
+	fmt.Printf("  unmanaged steady peak  %7.2f degC\n", res.UnmanagedPeakC)
+	fmt.Printf("  managed peak           %7.2f degC\n", res.DTM.ManagedPeakC)
+	st := res.DTM.Stats
+	fmt.Printf("  interventions          %d throttle, %d emergency, %d release (%d/%d samples throttled)\n",
+		st.ThrottleSteps, st.EmergencyDrops, st.ReleaseSteps, st.SamplesThrottled, st.Samples)
+	fmt.Printf("  operating point        freq %.2f, perf %.1f%%, power %.1f%% of baseline\n",
+		res.DTM.FinalFreq, res.DTM.PerfPct, res.DTM.PowerPct)
+	if res.DTM.Fallback {
+		fmt.Println("  stacked die PARKED (2D-equivalent fallback)")
+	}
+	if fc.Enabled() {
+		fmt.Printf("  sensor                 %d reads, peak sensed %.2f vs true %.2f degC\n",
+			res.Faults.SensorReads, st.PeakSensedC, st.PeakTrueC)
+	}
+	switch {
+	case err != nil:
+		fmt.Printf("  VERDICT: %v\n", err)
+		os.Exit(1)
+	case res.DTM.ManagedPeakC > tmax:
+		// No runaway, but sampling let the peak slip past the ceiling
+		// between interventions.
+		fmt.Printf("  VERDICT: Tmax exceeded transiently by %.2f degC — widen -dtm-hyst or shrink -dtm-dt\n",
+			res.DTM.ManagedPeakC-tmax)
+		os.Exit(1)
+	default:
+		fmt.Println("  VERDICT: Tmax held")
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"diestack/internal/trace"
@@ -27,6 +28,10 @@ func main() {
 		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
 	)
 	flag.Parse()
+
+	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
+		fatal(fmt.Errorf("-scale must be positive and finite, got %v", *scale))
+	}
 
 	switch {
 	case *list:

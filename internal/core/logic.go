@@ -68,24 +68,29 @@ type LogicThermal struct {
 	DensityRatio float64
 }
 
-// solveLogicStack builds and solves the thermal stack for a logic
-// floorplan whose block powers have been scaled by powerScale.
-func solveLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) (*thermal.Field, error) {
+// buildLogicStack assembles (without solving) the thermal stack for a
+// logic floorplan whose block powers have been scaled by powerScale.
+// Steady runs solve it once; DTM runs integrate it transiently with a
+// controller in the loop (see resilience.go).
+func buildLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) *thermal.Stack {
 	nx, ny := gridOrDefault(grid)
 	opt := thermal.StackOptions{Nx: nx, Ny: ny, TopH: thermal.PerformanceTopH}
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
 
 	scaled := fp.Clone().ScalePower(powerScale)
 	top := scaled.PowerMapCentered(0, nx, ny, pkgW, pkgH)
-	var stack *thermal.Stack
 	if fp.Dies == 1 {
-		stack = thermal.PlanarStack(fp.DieW, fp.DieH, top, opt)
-	} else {
-		bot := scaled.PowerMapCentered(1, nx, ny, pkgW, pkgH)
-		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
-			thermal.LogicDie(top), thermal.SRAMDie(bot), opt)
+		return thermal.PlanarStack(fp.DieW, fp.DieH, top, opt)
 	}
-	return thermal.Solve(stack, thermal.SolveOptions{})
+	bot := scaled.PowerMapCentered(1, nx, ny, pkgW, pkgH)
+	return thermal.ThreeDStack(fp.DieW, fp.DieH,
+		thermal.LogicDie(top), thermal.SRAMDie(bot), opt)
+}
+
+// solveLogicStack builds and solves the thermal stack for a logic
+// floorplan whose block powers have been scaled by powerScale.
+func solveLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) (*thermal.Field, error) {
+	return thermal.Solve(buildLogicStack(fp, grid, powerScale), thermal.SolveOptions{})
 }
 
 // RunLogicThermal solves one Figure 11 bar. grid <= 0 selects the

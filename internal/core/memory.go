@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"diestack/internal/fault"
 	"diestack/internal/floorplan"
 	"diestack/internal/memhier"
 	"diestack/internal/thermal"
@@ -117,6 +118,13 @@ type MemoryPerf struct {
 	OffDieBytes uint64
 	// Refs is the number of memory references replayed.
 	Refs uint64
+	// Faults holds the injected-fault and recovery counters (all-zero
+	// when injection is disabled; see RunMemoryPerfWithFaults).
+	Faults fault.Stats
+	// DRAMRemapped counts stacked-DRAM accesses redirected off dead
+	// banks; DRAMFaultCycles is latency added by degraded via lanes.
+	DRAMRemapped    uint64
+	DRAMFaultCycles int64
 }
 
 // RunMemoryPerf replays one benchmark's trace against one
@@ -136,15 +144,7 @@ func RunMemoryPerf(o MemoryOption, bench workload.Benchmark, seed uint64, scale 
 	if err != nil {
 		return MemoryPerf{}, fmt.Errorf("core: %s on %s: %w", bench.Name, o, err)
 	}
-	return MemoryPerf{
-		Benchmark:    bench.Name,
-		Option:       o,
-		CPMA:         res.CPMA,
-		BandwidthGBs: res.BandwidthGBs,
-		BusPowerW:    res.BusPowerW,
-		OffDieBytes:  res.OffDieBytes,
-		Refs:         res.Refs,
-	}, nil
+	return memoryPerfFrom(bench.Name, o, res), nil
 }
 
 // Figure5Result holds the full sweep: rows[benchmark][option].
@@ -178,15 +178,7 @@ func RunFigure5(seed uint64, scale float64) (*Figure5Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: %s on %s: %w", b.Name, o, err)
 			}
-			row = append(row, MemoryPerf{
-				Benchmark:    b.Name,
-				Option:       o,
-				CPMA:         res.CPMA,
-				BandwidthGBs: res.BandwidthGBs,
-				BusPowerW:    res.BusPowerW,
-				OffDieBytes:  res.OffDieBytes,
-				Refs:         res.Refs,
-			})
+			row = append(row, memoryPerfFrom(b.Name, o, res))
 		}
 		out.Rows = append(out.Rows, row)
 	}

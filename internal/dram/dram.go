@@ -161,6 +161,12 @@ type Stats struct {
 	Conflicts uint64 // precharge+activate
 	// BankWait accumulates cycles requests spent waiting for a busy bank.
 	BankWait int64
+	// Remapped counts accesses redirected away from a dead bank by an
+	// attached fault model.
+	Remapped uint64
+	// FaultCycles accumulates latency added by the fault model
+	// (degraded die-to-die via lanes widening every access).
+	FaultCycles int64
 }
 
 // RowHitRate returns the fraction of accesses that hit the open row.
@@ -171,6 +177,20 @@ func (s Stats) RowHitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// FaultModel lets a fault injector perturb device behaviour without
+// this package depending on the injector (fault.Injector.DRAM returns
+// an implementation). Methods must be deterministic functions of their
+// arguments and the model's fixed configuration, preserving the
+// simulator's reproducibility guarantee.
+type FaultModel interface {
+	// RemapBank redirects an access aimed at a dead bank to a live
+	// one; live banks pass through unchanged.
+	RemapBank(bank, banks int) int
+	// WidenOccupancy stretches a latency or occupancy figure to model
+	// transfers serialized over surviving die-to-die via lanes.
+	WidenOccupancy(cycles int64) int64
+}
+
 // Device is a banked DRAM with open-page policy: rows stay open until a
 // conflicting access precharges them.
 type Device struct {
@@ -179,6 +199,7 @@ type Device struct {
 	bankShift uint
 	bankMask  uint64
 	stats     Stats
+	faults    FaultModel
 }
 
 // New builds a Device from cfg. It panics on invalid configuration;
@@ -197,6 +218,11 @@ func New(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// AttachFaults installs a fault model consulted on every access. A nil
+// model restores fault-free behaviour. Attach before the first access;
+// remapping mid-run would tear open rows away from their banks.
+func (d *Device) AttachFaults(fm FaultModel) { d.faults = fm }
 
 // Bank returns the bank index addr maps to. Pages interleave across
 // banks with the row bits XOR-folded into the index, the standard
@@ -224,7 +250,14 @@ func (d *Device) row(addr uint64) uint64 {
 // column timing in this model, matching the paper's single "Read"
 // figure.
 func (d *Device) Access(now int64, addr uint64, isWrite bool) (done int64, res RowResult) {
-	b := &d.banks[d.Bank(addr)]
+	bankIdx := d.Bank(addr)
+	if d.faults != nil {
+		if nb := d.faults.RemapBank(bankIdx, d.cfg.Banks); nb != bankIdx {
+			d.stats.Remapped++
+			bankIdx = nb
+		}
+	}
+	b := &d.banks[bankIdx]
 	row := d.row(addr)
 
 	start := now
@@ -255,6 +288,16 @@ func (d *Device) Access(now int64, addr uint64, isWrite bool) (done int64, res R
 		}
 	}
 	d.stats.Accesses++
+
+	if d.faults != nil {
+		// Lost die-to-die via lanes serialize the transfer over the
+		// survivors: both the requester-visible latency and the bank
+		// occupancy stretch.
+		wlat := d.faults.WidenOccupancy(lat)
+		d.stats.FaultCycles += wlat - lat
+		lat = wlat
+		occ = d.faults.WidenOccupancy(occ)
+	}
 
 	if !(isWrite && d.cfg.PostedWrites) {
 		b.busyUntil = start + occ

@@ -1,0 +1,115 @@
+package dram
+
+import (
+	"testing"
+
+	"diestack/internal/fault"
+)
+
+func faultyModel(t *testing.T, cfg fault.Config) FaultModel {
+	t.Helper()
+	in, err := fault.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := in.DRAM()
+	if m == nil {
+		t.Fatal("no DRAM model for fault config")
+	}
+	return m
+}
+
+func TestDeadBankRemapCountsAndConcentrates(t *testing.T) {
+	d := New(stackedCfg())
+	d.AttachFaults(faultyModel(t, fault.Config{DeadBanks: []int{0, 1, 2, 3, 4, 5, 6, 7}}))
+
+	// Touch one page per bank: half the accesses must be remapped into
+	// the surviving banks.
+	seen := map[int]bool{}
+	var addr uint64
+	for len(seen) < d.Config().Banks {
+		seen[d.Bank(addr)] = true
+		addr += d.Config().PageBytes
+	}
+	for a := uint64(0); a < addr; a += d.Config().PageBytes {
+		d.Access(0, a, false)
+	}
+	st := d.Stats()
+	if st.Remapped != 8 {
+		t.Fatalf("Remapped = %d, want 8 (one per dead bank)", st.Remapped)
+	}
+}
+
+func TestRemapAddsConflicts(t *testing.T) {
+	// Two rows that map to different banks collide once one bank dies,
+	// degrading effective bank-level parallelism.
+	cfg := stackedCfg()
+	clean := New(cfg)
+	faulty := New(cfg)
+
+	// Find two addresses in distinct banks where the first bank dies.
+	a := uint64(0)
+	deadBank := clean.Bank(a)
+	b := a + cfg.PageBytes
+	for clean.Bank(b) == deadBank {
+		b += cfg.PageBytes
+	}
+	faulty.AttachFaults(faultyModel(t, fault.Config{DeadBanks: []int{deadBank}}))
+
+	cleanDoneA, _ := clean.Access(0, a, false)
+	cleanDoneB, _ := clean.Access(0, b, false)
+	faultDoneA, _ := faulty.Access(0, a, false)
+	faultDoneB, _ := faulty.Access(0, b, false)
+
+	// Clean: both banks start immediately. Faulty: a remaps into some
+	// other bank; completions can only get later, never earlier.
+	if faultDoneA < cleanDoneA || faultDoneB < cleanDoneB {
+		t.Fatalf("fault sped things up: clean %d/%d faulty %d/%d",
+			cleanDoneA, cleanDoneB, faultDoneA, faultDoneB)
+	}
+	if faulty.Stats().Remapped == 0 {
+		t.Fatal("no remap recorded")
+	}
+}
+
+func TestTSVWideningStretchesLatency(t *testing.T) {
+	cfg := stackedCfg()
+	clean := New(cfg)
+	faulty := New(cfg)
+	faulty.AttachFaults(faultyModel(t, fault.Config{TSVFailFrac: 0.5}))
+
+	cdone, cres := clean.Access(0, 0, false)
+	fdone, fres := faulty.Access(0, 0, false)
+	if cres != fres {
+		t.Fatalf("row outcome changed: %v vs %v", cres, fres)
+	}
+	cleanLat := cdone - cfg.Overhead
+	if fdone != cleanLat*2+cfg.Overhead {
+		t.Fatalf("50%% lane loss: done %d, want %d", fdone, cleanLat*2+cfg.Overhead)
+	}
+	if faulty.Stats().FaultCycles != cleanLat {
+		t.Fatalf("FaultCycles = %d, want %d", faulty.Stats().FaultCycles, cleanLat)
+	}
+}
+
+func TestFaultyDeviceDeterministic(t *testing.T) {
+	cfg := stackedCfg()
+	mk := func() *Device {
+		d := New(cfg)
+		d.AttachFaults(faultyModel(t, fault.Config{Seed: 9, DeadBanks: []int{2, 7}, TSVFailFrac: 0.25}))
+		return d
+	}
+	a, b := mk(), mk()
+	var addr uint64
+	for i := 0; i < 5000; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407 // deterministic LCG walk
+		da, ra := a.Access(int64(i), addr%(1<<20), i%3 == 0)
+		db, rb := b.Access(int64(i), addr%(1<<20), i%3 == 0)
+		if da != db || ra != rb {
+			t.Fatalf("access %d diverged: (%d,%v) vs (%d,%v)", i, da, ra, db, rb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+}

@@ -1,0 +1,262 @@
+package dtm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"diestack/internal/power"
+	"diestack/internal/thermal"
+)
+
+func paperController(t *testing.T, cfg Config, sensor func(float64) float64) *Controller {
+	t.Helper()
+	c, err := New(cfg, power.PaperLaws(), power.Pentium4ThreeDDesign(), sensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero Tmax", Config{}},
+		{"negative Tmax", Config{TmaxC: -10}},
+		{"NaN Tmax", Config{TmaxC: math.NaN()}},
+		{"negative hysteresis", Config{TmaxC: 100, HysteresisC: -1}},
+		{"hysteresis swallows Tmax", Config{TmaxC: 50, HysteresisC: 60}},
+		{"negative step", Config{TmaxC: 100, StepPct: -5}},
+		{"huge step", Config{TmaxC: 100, StepPct: 80}},
+		{"negative MinFreq", Config{TmaxC: 100, MinFreq: -0.1}},
+		{"MinFreq above 1", Config{TmaxC: 100, MinFreq: 1.5}},
+		{"fallback fraction above 1", Config{TmaxC: 100, FallbackPowerFraction: 1.2}},
+		{"negative runaway samples", Config{TmaxC: 100, RunawaySamples: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", tc.cfg)
+			}
+			if _, err := New(tc.cfg, power.PaperLaws(), power.Pentium4ThreeDDesign(), nil); err == nil {
+				t.Fatal("New accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestNominalOperationNoThrottle(t *testing.T) {
+	c := paperController(t, Config{TmaxC: 100}, nil)
+	for i := 0; i < 50; i++ {
+		if s := c.Step(float64(i), 70); s != 1 {
+			t.Fatalf("cool sample %d scaled power to %v", i, s)
+		}
+	}
+	st := c.Stats()
+	if st.ThrottleSteps != 0 || st.EmergencyDrops != 0 || st.SamplesThrottled != 0 {
+		t.Fatalf("interventions on a cool run: %+v", st)
+	}
+	if c.PerfPct() != 115 {
+		t.Fatalf("nominal PerfPct = %v, want 115", c.PerfPct())
+	}
+}
+
+func TestGuardBandThrottlesStepwise(t *testing.T) {
+	c := paperController(t, Config{TmaxC: 100, HysteresisC: 4, StepPct: 10}, nil)
+	// 97 sits inside the guard band [96, 100).
+	s1 := c.Step(0, 97)
+	if c.Freq() != 0.9 {
+		t.Fatalf("freq after one guard sample = %v, want 0.9", c.Freq())
+	}
+	// Scale = V²f with V tracking f 1:1.
+	want := 0.9 * 0.9 * 0.9
+	if math.Abs(s1-want) > 1e-12 {
+		t.Fatalf("scale %v, want %v", s1, want)
+	}
+	// Dead band [92, 96): hold.
+	c.Step(1, 94)
+	if c.Freq() != 0.9 {
+		t.Fatalf("dead band moved freq to %v", c.Freq())
+	}
+	// Below guard-hysteresis (92): release.
+	c.Step(2, 80)
+	if math.Abs(c.Freq()-1.0) > 1e-12 {
+		t.Fatalf("release left freq at %v", c.Freq())
+	}
+	st := c.Stats()
+	if st.ThrottleSteps != 1 || st.ReleaseSteps != 1 {
+		t.Fatalf("counters %+v", st)
+	}
+}
+
+func TestEmergencyDropAndRecovery(t *testing.T) {
+	c := paperController(t, Config{TmaxC: 100, MinFreq: 0.6}, nil)
+	c.Step(0, 105)
+	if c.Freq() != 0.6 {
+		t.Fatalf("emergency left freq at %v", c.Freq())
+	}
+	if c.Stats().EmergencyDrops != 1 {
+		t.Fatalf("EmergencyDrops = %d", c.Stats().EmergencyDrops)
+	}
+	// Cooling below the release threshold climbs back one step at a time.
+	for i := 0; i < 100 && c.Freq() < 1; i++ {
+		c.Step(float64(i), 50)
+	}
+	if c.Freq() != 1 {
+		t.Fatalf("never recovered, freq %v", c.Freq())
+	}
+}
+
+func TestRunawaySentinel(t *testing.T) {
+	c := paperController(t, Config{TmaxC: 100, RunawaySamples: 5}, nil)
+	for i := 0; i < 10; i++ {
+		c.Step(float64(i), 120)
+	}
+	if !errors.Is(c.Err(), ErrThermalRunaway) {
+		t.Fatalf("runaway not flagged: %v", c.Err())
+	}
+}
+
+func TestFallbackEngagesBeforeRunaway(t *testing.T) {
+	c := paperController(t, Config{TmaxC: 100, RunawaySamples: 5, FallbackPowerFraction: 0.4}, nil)
+	scale := 1.0
+	for i := 0; i < 8; i++ {
+		scale = c.Step(float64(i), 120)
+	}
+	if !c.InFallback() {
+		t.Fatal("fallback never engaged")
+	}
+	if c.Err() != nil {
+		t.Fatalf("fallback run errored early: %v", c.Err())
+	}
+	// Floor scale x fallback fraction.
+	v := power.PaperLaws().VccForFreq(0.5)
+	want := v * v * 0.5 * 0.4
+	if math.Abs(scale-want) > 1e-12 {
+		t.Fatalf("fallback scale %v, want %v", scale, want)
+	}
+	// 2D-equivalent mode forfeits the stacking gain.
+	if got := c.PerfPct(); got >= 100 {
+		t.Fatalf("fallback PerfPct %v should be below baseline", got)
+	}
+	// Still hot after fallback: now it is a runaway.
+	for i := 0; i < 10; i++ {
+		c.Step(float64(i), 120)
+	}
+	if !errors.Is(c.Err(), ErrThermalRunaway) {
+		t.Fatalf("post-fallback runaway not flagged: %v", c.Err())
+	}
+}
+
+func TestFaultySensorBlindsController(t *testing.T) {
+	// A sensor stuck at a cool reading must keep the controller at
+	// nominal power even as the true temperature runs away — the stats
+	// record the divergence.
+	stuck := func(float64) float64 { return 50 }
+	c := paperController(t, Config{TmaxC: 100}, stuck)
+	for i := 0; i < 20; i++ {
+		if s := c.Step(float64(i), 130); s != 1 {
+			t.Fatalf("blinded controller throttled (scale %v)", s)
+		}
+	}
+	st := c.Stats()
+	if st.PeakSensedC != 50 || st.PeakTrueC != 130 {
+		t.Fatalf("peaks %v/%v, want 50/130", st.PeakSensedC, st.PeakTrueC)
+	}
+}
+
+// hotStack is a planar assembly driven hard enough that its unmanaged
+// steady state far exceeds any reasonable Tmax (~112C at 150 W).
+func hotStack(grid int) *thermal.Stack {
+	pm := thermal.NewPowerMap(grid, grid).FillRect(grid/4, grid/4, 3*grid/4, 3*grid/4, 150)
+	return thermal.PlanarStack(0.012, 0.012, pm, thermal.StackOptions{Nx: grid, Ny: grid})
+}
+
+func TestManagedRunHoldsTmax(t *testing.T) {
+	const grid = 10
+	const tmax = 100.0
+	s := hotStack(grid)
+	opt := thermal.TransientOptions{Dt: 0.25, Steps: 240}
+
+	// Unmanaged: the run must bust the limit, or the test proves nothing.
+	un, err := thermal.SolveTransient(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unPeak := peakOf(un)
+	if unPeak <= tmax {
+		t.Fatalf("unmanaged run peaked at %.2f, below Tmax %.0f — workload too cool", unPeak, tmax)
+	}
+
+	ctrl := paperController(t, Config{TmaxC: tmax, HysteresisC: 3}, nil)
+	res, err := Run(s, opt, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ManagedPeakC > tmax {
+		t.Fatalf("managed run peaked at %.2f, above Tmax %.0f", res.ManagedPeakC, tmax)
+	}
+	// The guarantee must have cost measurable performance.
+	if res.Stats.SamplesThrottled == 0 {
+		t.Fatal("managed run never throttled yet unmanaged exceeded Tmax")
+	}
+	if res.PerfPct >= 115 {
+		t.Fatalf("PerfPct %v reports no cost", res.PerfPct)
+	}
+	if res.FinalScale >= 1 {
+		t.Fatalf("final scale %v reports no throttle", res.FinalScale)
+	}
+	// The trajectory's applied scales must match what the controller says.
+	if len(res.Transient.Scale) != opt.Steps {
+		t.Fatalf("scale trace length %d", len(res.Transient.Scale))
+	}
+}
+
+func TestManagedRunWithNoisySensor(t *testing.T) {
+	// Gaussian sensor noise must not break the guarantee as long as the
+	// guard band absorbs it.
+	const tmax = 100.0
+	s := hotStack(10)
+	// Deterministic "noise": alternating +-1C.
+	i := 0
+	noisy := func(trueC float64) float64 {
+		i++
+		if i%2 == 0 {
+			return trueC + 1
+		}
+		return trueC - 1
+	}
+	ctrl := paperController(t, Config{TmaxC: tmax, HysteresisC: 4}, noisy)
+	res, err := Run(s, thermal.TransientOptions{Dt: 0.25, Steps: 240}, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ManagedPeakC > tmax {
+		t.Fatalf("noisy-sensor run peaked at %.2f", res.ManagedPeakC)
+	}
+}
+
+func TestRunRejectsOccupiedPowerScale(t *testing.T) {
+	ctrl := paperController(t, Config{TmaxC: 100}, nil)
+	opt := thermal.TransientOptions{Dt: 0.25, Steps: 1,
+		PowerScale: func(float64, float64) float64 { return 1 }}
+	if _, err := Run(hotStack(8), opt, ctrl); err == nil {
+		t.Fatal("occupied PowerScale accepted")
+	}
+}
+
+func TestRunSurfacesRunaway(t *testing.T) {
+	// Tmax below what even the floor can hold: the run must complete
+	// (bounded) and wrap ErrThermalRunaway.
+	s := hotStack(10)
+	ctrl := paperController(t, Config{TmaxC: 45, RunawaySamples: 4}, nil)
+	res, err := Run(s, thermal.TransientOptions{Dt: 0.5, Steps: 60}, ctrl)
+	if !errors.Is(err, ErrThermalRunaway) {
+		t.Fatalf("want ErrThermalRunaway, got %v", err)
+	}
+	if res.Transient == nil {
+		t.Fatal("runaway result missing the trajectory")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"diestack/internal/cache"
 	"diestack/internal/dram"
+	"diestack/internal/fault"
 	"diestack/internal/stats"
 	"diestack/internal/trace"
 )
@@ -79,6 +80,12 @@ type Config struct {
 	// incomplete older record (the reorder-buffer depth, in trace
 	// records). Zero selects DefaultWindowRecords.
 	WindowRecords int
+	// Faults configures deterministic fault injection on the stacked
+	// DRAM cache: ECC events on its reads, dead banks with remapping,
+	// and die-to-die via lane failures. Main memory is assumed
+	// protected by its own off-package ECC and is not perturbed. The
+	// zero value disables injection.
+	Faults fault.Config
 }
 
 // DefaultMaxOutstanding is the per-core in-flight miss limit used when
@@ -125,6 +132,14 @@ func (c Config) Validate() error {
 	}
 	if c.WindowRecords < 0 {
 		return fmt.Errorf("memhier: negative WindowRecords")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("memhier: Faults: %w", err)
+	}
+	if c.L2Type == L2DRAM && len(c.Faults.DeadBanks) > 0 {
+		if err := c.Faults.ValidateBanks(c.DRAMArray.Banks); err != nil {
+			return fmt.Errorf("memhier: Faults: %w", err)
+		}
 	}
 	return nil
 }
@@ -181,6 +196,9 @@ type Result struct {
 	Memory       dram.Stats
 	// Invalidations counts cross-core L1 coherence invalidations.
 	Invalidations uint64
+	// Faults reports the injected-fault and recovery counters
+	// (all-zero when injection is disabled).
+	Faults fault.Stats
 }
 
 // Simulator replays traces against one machine configuration. It is
@@ -192,6 +210,7 @@ type Simulator struct {
 	l2   *cache.Cache
 	darr *dram.Device // stacked DRAM data array, nil for SRAM L2
 	mem  *dram.Device
+	inj  *fault.Injector // nil when fault injection is disabled
 
 	busFree     int64
 	offDieBytes uint64
@@ -215,6 +234,18 @@ func New(cfg Config) (*Simulator, error) {
 		s.darr = dram.New(cfg.DRAMArray)
 	}
 	s.mem = dram.New(cfg.Memory)
+	if cfg.Faults.Enabled() {
+		inj, err := fault.New(cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("memhier: Faults: %w", err)
+		}
+		s.inj = inj
+		// Attach only a real model: a typed-nil *DRAMModel in the
+		// interface would put a no-op call on every DRAM access.
+		if dm := inj.DRAM(); dm != nil && s.darr != nil {
+			s.darr.AttachFaults(dm)
+		}
+	}
 	// One-cycle buckets through the L2 range, coarser beyond; 0..2048
 	// covers everything up to several memory round trips.
 	s.latencies = stats.NewHistogram(0, 2048, 512)
@@ -357,6 +388,9 @@ func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
 	if s.darr != nil {
 		res.DRAMCache = s.darr.Stats()
 	}
+	if s.inj != nil {
+		res.Faults = s.inj.Stats()
+	}
 	seconds := float64(wall) / (s.cfg.CoreGHz * 1e9)
 	if seconds > 0 {
 		res.BandwidthGBs = float64(s.offDieBytes) / seconds / 1e9
@@ -448,6 +482,18 @@ func (s *Simulator) l2Access(t int64, addr uint64, write bool) int64 {
 		if dataDone < tagDone {
 			dataDone = tagDone
 		}
+		// Reads pass through the SECDED ECC model; writes carry freshly
+		// encoded check bits and cannot fault on the way in.
+		if s.inj != nil && !write {
+			switch s.inj.CheckRead() {
+			case fault.ECCCorrected:
+				retry := s.inj.RetryCycles()
+				s.inj.CountRetryCycles(retry)
+				dataDone += retry
+			case fault.ECCUncorrectable:
+				dataDone = s.recoverUncorrectable(dataDone, addr)
+			}
+		}
 		return dataDone
 	case out.LineHit:
 		// Sector miss: fetch just the missing 64 B sector from memory,
@@ -460,6 +506,45 @@ func (s *Simulator) l2Access(t int64, addr uint64, write bool) int64 {
 		fill := s.memAccess(tagDone, addr, false, sectorBytes(s.cfg.L2))
 		s.darr.Access(fill, addr, true)
 		return fill
+	}
+}
+
+// recoverUncorrectable handles an uncorrectable ECC event on a stacked
+// DRAM cache read completing at time t: the poisoned line is dropped
+// from the tags, the sector is refetched from main memory, re-deposited
+// in the DRAM array, and re-checked. Refetches repeat with bounded
+// exponential backoff; if the line still will not verify after the
+// configured retry budget the access is served from the memory fill and
+// the line stays invalid (counted as Unrecovered).
+func (s *Simulator) recoverUncorrectable(t int64, addr uint64) int64 {
+	s.inj.CountPoisoned()
+	// Drop the poisoned line; a dirty line's data is lost, which the
+	// SECDED model cannot repair — the refetch restores memory's copy.
+	s.l2.Invalidate(addr)
+	backoff := s.inj.BackoffBase()
+	granule := sectorBytes(s.cfg.L2)
+	for attempt := 0; ; attempt++ {
+		s.inj.CountRefetch()
+		fill := s.memAccess(t, addr, false, granule)
+		done, _ := s.darr.Access(fill, addr, true)
+		switch s.inj.CheckRead() {
+		case fault.ECCUncorrectable:
+			if attempt+1 >= s.inj.MaxRetries() {
+				s.inj.CountUnrecovered()
+				// Served straight from the memory fill; the tags stay
+				// invalid, so the next touch misses back to memory.
+				return done
+			}
+			s.inj.CountRetryCycles(backoff)
+			t = done + backoff
+			backoff *= 2
+		case fault.ECCCorrected:
+			retry := s.inj.RetryCycles()
+			s.inj.CountRetryCycles(retry)
+			return done + retry
+		default:
+			return done
+		}
 	}
 }
 

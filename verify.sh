@@ -1,0 +1,16 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate: static analysis,
+# build, and race-enabled tests. Run before every push.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"
