@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"diestack/internal/core"
+	"diestack/internal/harness"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func main() {
 		insts     = flag.Int("n", 200_000, "instructions per workload profile")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		grid      = flag.Int("grid", 0, "thermal grid resolution (0 = default 64)")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+		jobs      = flag.Int("jobs", 1, "solve the Figure 11 bars on this many parallel workers")
 	)
 	flag.Parse()
 
@@ -36,6 +41,16 @@ func main() {
 	}
 	if *grid < 0 {
 		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
+	}
+	if *jobs <= 0 {
+		fatal(fmt.Errorf("-jobs must be positive, got %d", *jobs))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *autoOnly {
@@ -52,7 +67,7 @@ func main() {
 	}
 	if *thermOnly || all {
 		fmt.Println()
-		if err := printFigure11(*grid); err != nil {
+		if err := printFigure11(ctx, *grid, *jobs); err != nil {
 			fatal(err)
 		}
 	}
@@ -108,8 +123,14 @@ func printTable4(seed uint64, n int) error {
 	return nil
 }
 
-func printFigure11(grid int) error {
-	rows, err := core.RunFigure11(grid)
+func printFigure11(ctx context.Context, grid, jobs int) error {
+	var rows []core.LogicThermal
+	var err error
+	if jobs > 1 {
+		rows, err = runFigure11Parallel(ctx, grid, jobs)
+	} else {
+		rows, err = core.RunFigure11Context(ctx, grid)
+	}
 	if err != nil {
 		return err
 	}
@@ -122,6 +143,34 @@ func printFigure11(grid int) error {
 			r.Option, r.PeakC, paper[r.Option], r.TotalPowerW, r.DensityRatio)
 	}
 	return nil
+}
+
+// runFigure11Parallel solves the three Figure 11 bars as supervised
+// harness jobs and reassembles them in paper order.
+func runFigure11Parallel(ctx context.Context, grid, jobs int) ([]core.LogicThermal, error) {
+	var hjobs []harness.Job
+	for _, o := range core.LogicOptions() {
+		o := o
+		hjobs = append(hjobs, harness.Job{
+			Name: o.String(),
+			Run: func(ctx context.Context) (any, error) {
+				return core.RunLogicThermalContext(ctx, o, grid)
+			},
+		})
+	}
+	m, err := harness.Run(ctx, harness.Config{Workers: jobs}, hjobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]core.LogicThermal, 0, len(hjobs))
+	for _, o := range core.LogicOptions() {
+		r, _ := m.Result(o.String())
+		if r.Status != harness.StatusOK {
+			return nil, fmt.Errorf("solve for %s %s: %s", o, r.Status, r.Error)
+		}
+		rows = append(rows, r.Value.(core.LogicThermal))
+	}
+	return rows, nil
 }
 
 func printTable5(grid int) error {

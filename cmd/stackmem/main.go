@@ -16,20 +16,30 @@
 //	stackmem -bench gauss -fault-uncorr 100          ECC storm
 //	stackmem -bench gauss -fault-dead-banks 0,1,2,3  bank kill
 //	stackmem -bench gauss -fault-tsv 0.25            via lane loss
+//
+// Supervised campaigns and checkpointed replays:
+//
+//	stackmem -campaign -jobs 4 -retries 1 -manifest out.json
+//	stackmem -bench gauss -capacity 32 -checkpoint run.ckpt -checkpoint-every 100000
+//	stackmem -bench gauss -capacity 32 -checkpoint run.ckpt -resume
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"diestack/internal/core"
 	"diestack/internal/fault"
+	"diestack/internal/harness"
 	"diestack/internal/memhier"
 	"diestack/internal/thermal"
 	"diestack/internal/trace"
@@ -48,6 +58,16 @@ func main() {
 		thermOnly  = flag.Bool("thermal", false, "print the Figure 8 temperatures and exit")
 		pngOut     = flag.String("png", "", "write the 32MB stack's thermal map (Figure 8b) to this PNG file")
 
+		timeout    = flag.Duration("timeout", 0, "deadline for the whole run (campaign mode: per job attempt; 0 = none)")
+		jobs       = flag.Int("jobs", 0, "campaign worker-pool size (0 = number of CPUs)")
+		retries    = flag.Int("retries", 0, "campaign retries per failed or timed-out job")
+		campaign   = flag.Bool("campaign", false, "run the paper sweep as a supervised parallel campaign")
+		manifest   = flag.String("manifest", "", "write the campaign manifest JSON to this file (default stdout)")
+		ckptPath   = flag.String("checkpoint", "", "checkpoint file for a single-configuration supervised replay")
+		ckptEvery  = flag.Int("checkpoint-every", 1<<20, "records between checkpoint snapshots")
+		resumeFlag = flag.Bool("resume", false, "resume the -checkpoint replay from its last snapshot")
+		capacity   = flag.Int("capacity", 32, "L2 capacity in MB for the checkpointed replay (4, 12, 32 or 64)")
+
 		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed = same faults)")
 		faultCorr   = flag.Float64("fault-corr", 0, "correctable ECC errors per million stacked-DRAM reads")
 		faultUncorr = flag.Float64("fault-uncorr", 0, "uncorrectable ECC errors per million stacked-DRAM reads")
@@ -62,12 +82,42 @@ func main() {
 	if *grid < 0 {
 		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
 	}
+	if *jobs < 0 {
+		fatal(fmt.Errorf("-jobs must be non-negative, got %d", *jobs))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries must be non-negative, got %d", *retries))
+	}
+	if *ckptEvery <= 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be positive, got %d", *ckptEvery))
+	}
 	fc, err := faultConfig(*faultSeed, *faultCorr, *faultUncorr, *faultBanks, *faultTSV)
 	if err != nil {
 		fatal(err)
 	}
 
+	// Interrupts cancel the run cooperatively: replays and solves
+	// observe the context and stop at the next check, leaving any
+	// checkpoint file intact for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 && !*campaign {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch {
+	case *campaign:
+		if err := runCampaign(ctx, *bench, *seed, *scale, *grid,
+			*jobs, *retries, *timeout, *manifest); err != nil {
+			fatal(err)
+		}
+	case *ckptPath != "":
+		if err := runCheckpointed(ctx, *bench, *traceFile, *capacity, *seed, *scale, fc,
+			*ckptPath, *ckptEvery, *resumeFlag); err != nil {
+			fatal(err)
+		}
 	case *traceFile != "":
 		if err := replayFile(*traceFile, fc); err != nil {
 			fatal(err)
@@ -96,6 +146,100 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runCampaign executes the paper sweep as a supervised campaign and
+// writes the manifest. Failed jobs do not abort the sweep; they are
+// recorded with their cause and the process exits non-zero.
+func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, grid,
+	jobs, retries int, timeout time.Duration, manifestPath string) error {
+	spec := core.CampaignSpec{Seed: seed, Scale: scale, Grid: grid}
+	if bench != "" {
+		spec.Benchmarks = []string{bench}
+	}
+	cfg := harness.Config{
+		Workers: jobs,
+		Timeout: timeout,
+		Retries: retries,
+		Backoff: 100 * time.Millisecond,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+		},
+	}
+	m, err := core.RunCampaign(ctx, spec, cfg)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if manifestPath != "" {
+		f, err := os.Create(manifestPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := m.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d ok, %d failed, %d panicked, %d timeout, %d canceled\n",
+		m.OK, m.Failed, m.Panicked, m.Timeout, m.Canceled)
+	if m.OK != len(m.Jobs) {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runCheckpointed replays one benchmark (or trace file) against one
+// capacity with periodic checkpoints, optionally resuming from the
+// last snapshot. An interrupted run resumed this way produces exactly
+// the result of an uninterrupted one.
+func runCheckpointed(ctx context.Context, bench, traceFile string, capacityMB int,
+	seed uint64, scale float64, fc fault.Config, path string, every int, resume bool) error {
+	cfg, ok := memhier.ConfigByCapacity(capacityMB)
+	if !ok {
+		return fmt.Errorf("-capacity must be 4, 12, 32 or 64, got %d", capacityMB)
+	}
+	cfg.Faults = fc
+
+	var stream trace.Stream
+	switch {
+	case traceFile != "":
+		data, err := os.ReadFile(traceFile)
+		if err != nil {
+			return err
+		}
+		stream = trace.NewReader(bytes.NewReader(data))
+	case bench != "":
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (have %v)", bench, workload.Names())
+		}
+		stream = trace.NewSliceStream(b.Generate(seed, scale))
+	default:
+		return fmt.Errorf("-checkpoint needs -bench or -trace")
+	}
+
+	opt := memhier.RunOptions{CheckpointEvery: every, CheckpointPath: path}
+	if resume {
+		cp, err := memhier.LoadCheckpoint(path)
+		if err != nil {
+			return err
+		}
+		opt.Resume = cp
+		fmt.Fprintf(os.Stderr, "resuming from %s at record %d\n", path, cp.Records)
+	}
+	sim, err := memhier.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunContext(ctx, stream, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%dMB: CPMA %.3f  BW %.2f GB/s  traffic %.1f MB  records %d  refs %d\n",
+		capacityMB, res.CPMA, res.BandwidthGBs, float64(res.OffDieBytes)/(1<<20), res.Records, res.Refs)
+	return nil
 }
 
 // faultConfig assembles and validates the fault flag group.

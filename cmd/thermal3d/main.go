@@ -18,11 +18,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"diestack/internal/core"
 	"diestack/internal/dtm"
@@ -37,6 +39,7 @@ func main() {
 		sweepOnly = flag.Bool("sweep", false, "run the Figure 3 sensitivity sweep and exit")
 		grid      = flag.Int("grid", 0, "grid resolution (0 = default 64)")
 		pngOut    = flag.String("png", "", "also write the Figure 6 thermal map to this PNG file")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 
 		dtmOn      = flag.Bool("dtm", false, "run closed-loop thermal management on the 3D logic stack and exit")
 		tmax       = flag.Float64("tmax", 90, "DTM: peak temperature ceiling in degC")
@@ -55,6 +58,13 @@ func main() {
 	if *grid < 0 {
 		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *dtmOn {
 		if err := runDTM(*grid, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
 			*sensorNoise, *sensorOffset, *sensorStuck, *faultSeed); err != nil {
@@ -69,13 +79,13 @@ func main() {
 	}
 	if *baseOnly || all {
 		fmt.Println()
-		if err := printBaseline(*grid, *pngOut); err != nil {
+		if err := printBaseline(ctx, *grid, *pngOut); err != nil {
 			fatal(err)
 		}
 	}
 	if *sweepOnly || all {
 		fmt.Println()
-		if err := printSweep(*grid); err != nil {
+		if err := printSweep(ctx, *grid); err != nil {
 			fatal(err)
 		}
 	}
@@ -169,8 +179,8 @@ func printMaterials() {
 
 // printBaseline solves the planar reference and renders the Figure 6
 // temperature map as ASCII shading.
-func printBaseline(grid int, pngOut string) error {
-	pd, tm, err := core.Figure6Maps(grid)
+func printBaseline(ctx context.Context, grid int, pngOut string) error {
+	pd, tm, err := core.Figure6MapsContext(ctx, grid)
 	if err != nil {
 		return err
 	}
@@ -220,10 +230,10 @@ func printBaseline(grid int, pngOut string) error {
 	return nil
 }
 
-func printSweep(grid int) error {
+func printSweep(ctx context.Context, grid int) error {
 	fmt.Println("Figure 3 — peak temperature vs layer conductivity (stacked microprocessor):")
 	for _, layer := range []core.SweepLayer{core.SweepCuMetal, core.SweepBond} {
-		pts, err := core.RunFigure3(layer, nil, grid)
+		pts, err := core.RunFigure3Context(ctx, layer, nil, grid)
 		if err != nil {
 			return err
 		}

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"diestack/internal/trace"
 	"diestack/internal/workload"
@@ -26,6 +28,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generation seed")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
+		timeout = flag.Duration("timeout", 0, "deadline for reading/validating traces (0 = none)")
 	)
 	flag.Parse()
 
@@ -33,6 +36,13 @@ func main() {
 		fatal(fmt.Errorf("-scale must be positive and finite, got %v", *scale))
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	switch {
 	case *list:
 		for _, b := range workload.All() {
@@ -43,7 +53,7 @@ func main() {
 			fmt.Printf("  %-8s %s (%s)\n", b.Name, b.Description, fits)
 		}
 	case *inspect != "":
-		if err := inspectFile(*inspect); err != nil {
+		if err := inspectFile(ctx, *inspect); err != nil {
 			fatal(err)
 		}
 	case *bench != "":
@@ -91,17 +101,17 @@ func generate(name, out string, seed uint64, scale float64) error {
 	return nil
 }
 
-func inspectFile(path string) error {
+func inspectFile(ctx context.Context, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	recs, err := trace.Collect(trace.NewReader(f), 0)
+	recs, err := trace.CollectContext(ctx, trace.NewReader(f), 0)
 	if err != nil {
 		return err
 	}
-	if err := trace.Validate(trace.NewSliceStream(recs)); err != nil {
+	if err := trace.ValidateContext(ctx, trace.NewSliceStream(recs)); err != nil {
 		return fmt.Errorf("trace invalid: %w", err)
 	}
 	m := workload.Summarize(recs)

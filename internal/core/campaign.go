@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"diestack/internal/harness"
+	"diestack/internal/workload"
+)
+
+// This file defines the paper's full evaluation as a supervised
+// campaign: every Figure 5 replay, every Figure 8 thermal solve, and
+// every Figure 11 logic solve become independent harness jobs, so one
+// hung replay or diverged solve cannot take down the sweep.
+
+// CampaignSpec parameterizes the paper sweep.
+type CampaignSpec struct {
+	// Seed and Scale size the generated traces (as in RunFigure5).
+	Seed  uint64
+	Scale float64
+	// Grid is the thermal resolution (<= 0 selects the default).
+	Grid int
+	// Benchmarks restricts the Figure 5 replays to the named RMS
+	// kernels; empty runs all of them.
+	Benchmarks []string
+	// SkipThermal drops the Figure 8 / Figure 11 jobs, leaving a
+	// memory-performance-only campaign.
+	SkipThermal bool
+}
+
+// CampaignJobs expands the spec into the job list: one job per
+// (benchmark, option) replay named "fig5/<bench>/<cap>MB", one per
+// option thermal solve named "fig8/thermal/<cap>MB", and one per logic
+// option named "fig11/logic/<variant>". Job names are stable so
+// manifests from identical specs are comparable.
+func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
+	benches := workload.All()
+	if len(spec.Benchmarks) > 0 {
+		benches = benches[:0]
+		for _, name := range spec.Benchmarks {
+			b, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("core: unknown benchmark %q (have %s)",
+					name, strings.Join(workload.Names(), ", "))
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	var jobs []harness.Job
+	for _, b := range benches {
+		for _, o := range MemoryOptions() {
+			b, o := b, o
+			jobs = append(jobs, harness.Job{
+				Name: fmt.Sprintf("fig5/%s/%dMB", b.Name, o.CapacityMB()),
+				Run: func(ctx context.Context) (any, error) {
+					return RunMemoryPerfContext(ctx, o, b, spec.Seed, spec.Scale)
+				},
+			})
+		}
+	}
+	if !spec.SkipThermal {
+		for _, o := range MemoryOptions() {
+			o := o
+			jobs = append(jobs, harness.Job{
+				Name: fmt.Sprintf("fig8/thermal/%dMB", o.CapacityMB()),
+				Run: func(ctx context.Context) (any, error) {
+					return RunMemoryThermalContext(ctx, o, spec.Grid)
+				},
+			})
+		}
+		for _, o := range LogicOptions() {
+			o := o
+			jobs = append(jobs, harness.Job{
+				Name: "fig11/logic/" + logicSlug(o),
+				Run: func(ctx context.Context) (any, error) {
+					return RunLogicThermalContext(ctx, o, spec.Grid)
+				},
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// logicSlug names a logic option in job-name form.
+func logicSlug(o LogicOption) string {
+	switch o {
+	case LogicPlanar:
+		return "planar"
+	case Logic3D:
+		return "3d"
+	case Logic3DWorst:
+		return "3d-worstcase"
+	default:
+		return fmt.Sprintf("option-%d", int(o))
+	}
+}
+
+// RunCampaign expands the spec and executes it under the harness.
+func RunCampaign(ctx context.Context, spec CampaignSpec, cfg harness.Config) (*harness.Manifest, error) {
+	jobs, err := CampaignJobs(spec)
+	if err != nil {
+		return nil, err
+	}
+	return harness.Run(ctx, cfg, jobs)
+}

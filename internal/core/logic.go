@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/floorplan"
@@ -96,13 +97,20 @@ func solveLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) (*th
 // RunLogicThermal solves one Figure 11 bar. grid <= 0 selects the
 // default resolution.
 func RunLogicThermal(o LogicOption, grid int) (LogicThermal, error) {
+	return RunLogicThermalContext(context.Background(), o, grid)
+}
+
+// RunLogicThermalContext is RunLogicThermal under supervision. A
+// non-converging solve surfaces thermal.ErrNotConverged wrapped with
+// the option being solved.
+func RunLogicThermalContext(ctx context.Context, o LogicOption, grid int) (LogicThermal, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return LogicThermal{}, err
 	}
-	field, err := solveLogicStack(fp, grid, 1)
+	field, err := thermal.SolveContext(ctx, buildLogicStack(fp, grid, 1), thermal.SolveOptions{})
 	if err != nil {
-		return LogicThermal{}, err
+		return LogicThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
 	nx, ny := gridOrDefault(grid)
 	planar := floorplan.Pentium4Planar()
@@ -116,9 +124,14 @@ func RunLogicThermal(o LogicOption, grid int) (LogicThermal, error) {
 
 // RunFigure11 solves all three bars.
 func RunFigure11(grid int) ([]LogicThermal, error) {
+	return RunFigure11Context(context.Background(), grid)
+}
+
+// RunFigure11Context is RunFigure11 under supervision.
+func RunFigure11Context(ctx context.Context, grid int) ([]LogicThermal, error) {
 	out := make([]LogicThermal, 0, 3)
 	for _, o := range LogicOptions() {
-		r, err := RunLogicThermal(o, grid)
+		r, err := RunLogicThermalContext(ctx, o, grid)
 		if err != nil {
 			return nil, err
 		}

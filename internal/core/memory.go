@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/fault"
@@ -131,6 +132,12 @@ type MemoryPerf struct {
 // configuration. scale sizes the workload (1.0 = reference footprints;
 // tests use smaller).
 func RunMemoryPerf(o MemoryOption, bench workload.Benchmark, seed uint64, scale float64) (MemoryPerf, error) {
+	return RunMemoryPerfContext(context.Background(), o, bench, seed, scale)
+}
+
+// RunMemoryPerfContext is RunMemoryPerf under supervision: the replay
+// checks ctx periodically and aborts with its error on cancellation.
+func RunMemoryPerfContext(ctx context.Context, o MemoryOption, bench workload.Benchmark, seed uint64, scale float64) (MemoryPerf, error) {
 	cfg, err := o.HierarchyConfig()
 	if err != nil {
 		return MemoryPerf{}, err
@@ -140,7 +147,7 @@ func RunMemoryPerf(o MemoryOption, bench workload.Benchmark, seed uint64, scale 
 		return MemoryPerf{}, err
 	}
 	recs := bench.Generate(seed, scale)
-	res, err := sim.Run(trace.NewSliceStream(recs), 0)
+	res, err := sim.RunContext(ctx, trace.NewSliceStream(recs), memhier.RunOptions{})
 	if err != nil {
 		return MemoryPerf{}, fmt.Errorf("core: %s on %s: %w", bench.Name, o, err)
 	}
@@ -158,6 +165,12 @@ type Figure5Result struct {
 // the paper's Figure 5. Traces are regenerated per benchmark and
 // shared across the four options.
 func RunFigure5(seed uint64, scale float64) (*Figure5Result, error) {
+	return RunFigure5Context(context.Background(), seed, scale)
+}
+
+// RunFigure5Context is RunFigure5 under supervision; cancellation
+// aborts mid-sweep with the context's error.
+func RunFigure5Context(ctx context.Context, seed uint64, scale float64) (*Figure5Result, error) {
 	benches := workload.All()
 	opts := MemoryOptions()
 	out := &Figure5Result{Options: opts}
@@ -174,7 +187,7 @@ func RunFigure5(seed uint64, scale float64) (*Figure5Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.Run(trace.NewSliceStream(recs), 0)
+			res, err := sim.RunContext(ctx, trace.NewSliceStream(recs), memhier.RunOptions{})
 			if err != nil {
 				return nil, fmt.Errorf("core: %s on %s: %w", b.Name, o, err)
 			}
@@ -252,6 +265,13 @@ type MemoryThermal struct {
 // RunMemoryThermal solves the option's thermal stack (Figure 8).
 // grid <= 0 selects the default resolution.
 func RunMemoryThermal(o MemoryOption, grid int) (MemoryThermal, error) {
+	return RunMemoryThermalContext(context.Background(), o, grid)
+}
+
+// RunMemoryThermalContext is RunMemoryThermal under supervision. A
+// solver that fails to converge surfaces thermal.ErrNotConverged (or
+// thermal.ErrDiverged) wrapped with the option it was solving.
+func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid int) (MemoryThermal, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return MemoryThermal{}, err
@@ -270,9 +290,9 @@ func RunMemoryThermal(o MemoryOption, grid int) (MemoryThermal, error) {
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.Solve(stack, thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
 	if err != nil {
-		return MemoryThermal{}, err
+		return MemoryThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
 	die := thermal.CenteredDie(stack.Width, stack.Height, fp.DieW, fp.DieH)
 	li := stack.LayerIndex("active")
@@ -291,6 +311,11 @@ func RunMemoryThermal(o MemoryOption, grid int) (MemoryThermal, error) {
 // active layer's lateral temperature map — Figure 8(b) is this map for
 // the 32 MB configuration. grid <= 0 selects the default resolution.
 func RunMemoryThermalMap(o MemoryOption, grid int) ([][]float64, error) {
+	return RunMemoryThermalMapContext(context.Background(), o, grid)
+}
+
+// RunMemoryThermalMapContext is RunMemoryThermalMap under supervision.
+func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid int) ([][]float64, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return nil, err
@@ -308,9 +333,9 @@ func RunMemoryThermalMap(o MemoryOption, grid int) ([][]float64, error) {
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.Solve(stack, thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
 	li := stack.LayerIndex("active")
 	if li < 0 {
@@ -321,9 +346,14 @@ func RunMemoryThermalMap(o MemoryOption, grid int) ([][]float64, error) {
 
 // RunFigure8 solves all four options (Figure 8a).
 func RunFigure8(grid int) ([]MemoryThermal, error) {
+	return RunFigure8Context(context.Background(), grid)
+}
+
+// RunFigure8Context is RunFigure8 under supervision.
+func RunFigure8Context(ctx context.Context, grid int) ([]MemoryThermal, error) {
 	out := make([]MemoryThermal, 0, 4)
 	for _, o := range MemoryOptions() {
-		r, err := RunMemoryThermal(o, grid)
+		r, err := RunMemoryThermalContext(ctx, o, grid)
 		if err != nil {
 			return nil, err
 		}

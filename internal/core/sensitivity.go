@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/floorplan"
@@ -49,6 +50,11 @@ func Figure3Conductivities() []float64 {
 // sit in that path versus one 15 um bond. grid <= 0 selects the
 // default resolution.
 func RunFigure3(layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, error) {
+	return RunFigure3Context(context.Background(), layer, ks, grid)
+}
+
+// RunFigure3Context is RunFigure3 under supervision.
+func RunFigure3Context(ctx context.Context, layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, error) {
 	if len(ks) == 0 {
 		ks = Figure3Conductivities()
 	}
@@ -74,9 +80,9 @@ func RunFigure3(layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, e
 		}
 		stack := thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(top), thermal.SRAMDie(bot), opt)
-		field, err := thermal.Solve(stack, thermal.SolveOptions{})
+		field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: thermal solve at %s=%g W/mK: %w", layer, k, err)
 		}
 		out = append(out, SensitivityPoint{ConductivityWmK: k, PeakC: field.Peak()})
 	}
@@ -87,6 +93,11 @@ func RunFigure3(layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, e
 // temperature map (degC) of the active layer, the two panels of
 // Figure 6. grid <= 0 selects the default resolution.
 func Figure6Maps(grid int) (powerDensity [][]float64, temperature [][]float64, err error) {
+	return Figure6MapsContext(context.Background(), grid)
+}
+
+// Figure6MapsContext is Figure6Maps under supervision.
+func Figure6MapsContext(ctx context.Context, grid int) (powerDensity [][]float64, temperature [][]float64, err error) {
 	fp := floorplan.Core2DuoPlanar()
 	nx, ny := gridOrDefault(grid)
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
@@ -102,9 +113,9 @@ func Figure6Maps(grid int) (powerDensity [][]float64, temperature [][]float64, e
 	}
 
 	stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: nx, Ny: ny})
-	field, err := thermal.Solve(stack, thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: planar thermal solve: %w", err)
 	}
 	return powerDensity, field.LayerMap(stack.LayerIndex("active")), nil
 }

@@ -13,6 +13,7 @@
 package memhier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -255,49 +256,137 @@ func New(cfg Config) (*Simulator, error) {
 // Config returns the machine configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// Run replays the stream to completion (or limit records, if limit>0)
-// and returns the aggregated result.
-func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
-	slot := make([]int64, s.cfg.Cores) // per-core program-order issue slot
-	// Completion times are kept in a sliding window keyed by record id.
-	// Dependencies in real traces reach back a bounded distance; a
-	// reference older than the window completed long before the
-	// dependent record can issue, so a window miss is treated as
-	// already complete. This bounds memory for billion-record traces.
-	const depWindow = 1 << 20
-	doneID := make([]uint64, depWindow)
-	doneAt := make([]int64, depWindow)
-	for i := range doneID {
-		doneID[i] = ^uint64(0)
-	}
+// depWindow is the sliding completion-time window size, in records.
+// Dependencies in real traces reach back a bounded distance; a
+// reference older than the window completed long before the dependent
+// record can issue, so a window miss is treated as already complete.
+// This bounds memory for billion-record traces.
+const depWindow = 1 << 20
+
+// runState is the replay loop's mutable state, extracted so a run can
+// be checkpointed mid-stream and resumed bit-identically.
+type runState struct {
+	slot []int64 // per-core program-order issue slot
+	// Completion times in a sliding window keyed by record id.
+	doneID []uint64
+	doneAt []int64
 	// Per-core MSHR ring: the completion times of the last M in-flight
 	// misses. A new reference cannot issue until the M-th previous miss
 	// has completed, bounding memory-level parallelism the way a real
 	// core's miss queue and reorder buffer do.
-	mshrN := s.cfg.maxOutstanding()
-	mshr := make([][]int64, s.cfg.Cores)
-	mshrPos := make([]int, s.cfg.Cores)
-	for i := range mshr {
-		mshr[i] = make([]int64, mshrN)
-	}
+	mshr    [][]int64
+	mshrPos []int
 	// Per-core reorder window: a record cannot issue until the record
 	// WindowRecords older than it has completed. Independent records
 	// issue out of order past a stalled dependence up to this depth.
-	robN := s.cfg.windowRecords()
-	rob := make([][]int64, s.cfg.Cores)
-	robPos := make([]int, s.cfg.Cores)
-	for i := range rob {
-		rob[i] = make([]int64, robN)
+	rob    [][]int64
+	robPos []int
+
+	records, refs uint64
+	wall, sumLat  int64
+	// hash is a rolling FNV-style digest of every record consumed, used
+	// to refuse resuming a checkpoint against a different trace.
+	hash uint64
+}
+
+func newRunState(cfg Config) *runState {
+	st := &runState{
+		slot:   make([]int64, cfg.Cores),
+		doneID: make([]uint64, depWindow),
+		doneAt: make([]int64, depWindow),
+		hash:   1469598103934665603, // FNV-1a offset basis
 	}
+	for i := range st.doneID {
+		st.doneID[i] = ^uint64(0)
+	}
+	mshrN := cfg.maxOutstanding()
+	st.mshr = make([][]int64, cfg.Cores)
+	st.mshrPos = make([]int, cfg.Cores)
+	for i := range st.mshr {
+		st.mshr[i] = make([]int64, mshrN)
+	}
+	robN := cfg.windowRecords()
+	st.rob = make([][]int64, cfg.Cores)
+	st.robPos = make([]int, cfg.Cores)
+	for i := range st.rob {
+		st.rob[i] = make([]int64, robN)
+	}
+	return st
+}
+
+// hashRecord folds one record into a rolling FNV-1a-style digest.
+func hashRecord(h uint64, rec trace.Record) uint64 {
+	const prime = 1099511628211
+	for _, v := range [...]uint64{rec.ID, rec.Dep, rec.Addr, rec.PC,
+		uint64(rec.CPU), uint64(rec.Kind), uint64(rec.Reps)} {
+		h = (h ^ v) * prime
+	}
+	return h
+}
+
+// absorb folds one consumed record into the stream digest.
+func (st *runState) absorb(rec trace.Record) { st.hash = hashRecord(st.hash, rec) }
+
+// RunOptions supervises a RunContext replay. The zero value replays the
+// whole stream unsupervised, exactly like Run.
+type RunOptions struct {
+	// Limit stops the replay after this many records (0 = no limit).
+	// On a resumed run the count includes records replayed before the
+	// checkpoint was taken.
+	Limit int
+	// CheckpointEvery, when positive, snapshots the full simulator
+	// state to CheckpointPath every that many records.
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file, written atomically
+	// (temp file + rename) so a kill mid-write never corrupts the
+	// previous snapshot.
+	CheckpointPath string
+	// Resume, when non-nil, restores the simulator from the checkpoint
+	// before replaying. The stream must be the same trace from its
+	// first record; the run skips to the checkpoint position, verifying
+	// the stream digest along the way.
+	Resume *Checkpoint
+	// CancelEvery is how many records pass between context checks
+	// (default 4096).
+	CancelEvery int
+}
+
+// Run replays the stream to completion (or limit records, if limit>0)
+// and returns the aggregated result.
+func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
+	return s.RunContext(context.Background(), stream, RunOptions{Limit: limit})
+}
+
+// RunContext replays the stream under supervision: cooperative
+// cancellation via ctx (checked every opt.CancelEvery records),
+// periodic checkpointing, and resumption from a prior checkpoint. A
+// resumed run produces a Result bit-identical to an uninterrupted one.
+func (s *Simulator) RunContext(ctx context.Context, stream trace.Stream, opt RunOptions) (Result, error) {
+	cancelEvery := opt.CancelEvery
+	if cancelEvery <= 0 {
+		cancelEvery = 4096
+	}
+	st := newRunState(s.cfg)
+	if opt.Resume != nil {
+		if err := s.restore(st, opt.Resume, stream); err != nil {
+			return Result{}, err
+		}
+	}
+	if opt.CheckpointEvery > 0 && opt.CheckpointPath == "" {
+		return Result{}, errors.New("memhier: CheckpointEvery set without CheckpointPath")
+	}
+
 	l1Lat := s.cfg.L1D.Latency
-
-	var records, refs uint64
-	var wall int64
-	var sumLat int64
-
+	sinceCancel := 0
 	for {
-		if limit > 0 && records >= uint64(limit) {
+		if opt.Limit > 0 && st.records >= uint64(opt.Limit) {
 			break
+		}
+		if sinceCancel++; sinceCancel >= cancelEvery {
+			sinceCancel = 0
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("memhier: replay canceled after %d records: %w", st.records, err)
+			}
 		}
 		rec, err := stream.Next()
 		if errors.Is(err, io.EOF) {
@@ -310,27 +399,28 @@ func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
 			return Result{}, fmt.Errorf("memhier: record %d names cpu %d but machine has %d cores",
 				rec.ID, rec.CPU, s.cfg.Cores)
 		}
+		st.absorb(rec)
 		cpu := int(rec.CPU)
 
-		issue := slot[cpu]
+		issue := st.slot[cpu]
 		if rec.HasDep() {
 			w := rec.Dep % depWindow
-			if doneID[w] == rec.Dep && doneAt[w] > issue {
-				issue = doneAt[w]
+			if st.doneID[w] == rec.Dep && st.doneAt[w] > issue {
+				issue = st.doneAt[w]
 			}
 		}
-		if oldest := mshr[cpu][mshrPos[cpu]]; oldest > issue {
+		if oldest := st.mshr[cpu][st.mshrPos[cpu]]; oldest > issue {
 			issue = oldest
 		}
-		if oldest := rob[cpu][robPos[cpu]]; oldest > issue {
+		if oldest := st.rob[cpu][st.robPos[cpu]]; oldest > issue {
 			issue = oldest
 		}
 
 		completion := s.access(issue, cpu, rec.Addr, rec.Kind)
 		if completion-issue > l1Lat {
 			// The reference went past the L1: it held a miss slot.
-			mshr[cpu][mshrPos[cpu]] = completion
-			mshrPos[cpu] = (mshrPos[cpu] + 1) % mshrN
+			st.mshr[cpu][st.mshrPos[cpu]] = completion
+			st.mshrPos[cpu] = (st.mshrPos[cpu] + 1) % len(st.mshr[cpu])
 		}
 
 		s.latencies.Add(float64(completion - issue))
@@ -341,37 +431,47 @@ func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
 		// not drag it forward — younger independent records may issue
 		// at their own slots (out-of-order issue within the window).
 		reps := int64(rec.Reps)
-		slot[cpu] += 1 + reps
-		refs += uint64(1 + reps)
-		sumLat += (completion - issue) + reps*l1Lat
+		st.slot[cpu] += 1 + reps
+		st.refs += uint64(1 + reps)
+		st.sumLat += (completion - issue) + reps*l1Lat
 		s.repHits += uint64(reps)
 		repDone := issue + reps + l1Lat
 		if repDone > completion {
 			completion = repDone
 		}
 
-		rob[cpu][robPos[cpu]] = completion
-		robPos[cpu] = (robPos[cpu] + 1) % robN
+		st.rob[cpu][st.robPos[cpu]] = completion
+		st.robPos[cpu] = (st.robPos[cpu] + 1) % len(st.rob[cpu])
 
 		w := rec.ID % depWindow
-		doneID[w] = rec.ID
-		doneAt[w] = completion
-		if completion > wall {
-			wall = completion
+		st.doneID[w] = rec.ID
+		st.doneAt[w] = completion
+		if completion > st.wall {
+			st.wall = completion
 		}
-		records++
+		st.records++
+
+		if opt.CheckpointEvery > 0 && st.records%uint64(opt.CheckpointEvery) == 0 {
+			if err := SaveCheckpoint(opt.CheckpointPath, s.checkpoint(st)); err != nil {
+				return Result{}, fmt.Errorf("memhier: writing checkpoint at record %d: %w", st.records, err)
+			}
+		}
 	}
 
-	if refs == 0 {
-		return Result{}, nil
-	}
+	return s.result(st), nil
+}
 
+// result aggregates the final Result from the loop state.
+func (s *Simulator) result(st *runState) Result {
+	if st.refs == 0 {
+		return Result{}
+	}
 	res := Result{
-		Records:       records,
-		Refs:          refs,
-		Cycles:        wall,
-		CPMA:          float64(wall) / float64(refs),
-		AvgLatency:    float64(sumLat) / float64(refs),
+		Records:       st.records,
+		Refs:          st.refs,
+		Cycles:        st.wall,
+		CPMA:          float64(st.wall) / float64(st.refs),
+		AvgLatency:    float64(st.sumLat) / float64(st.refs),
 		LatencyP50:    s.latencies.Quantile(0.50),
 		LatencyP95:    s.latencies.Quantile(0.95),
 		LatencyP99:    s.latencies.Quantile(0.99),
@@ -391,13 +491,13 @@ func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
 	if s.inj != nil {
 		res.Faults = s.inj.Stats()
 	}
-	seconds := float64(wall) / (s.cfg.CoreGHz * 1e9)
+	seconds := float64(st.wall) / (s.cfg.CoreGHz * 1e9)
 	if seconds > 0 {
 		res.BandwidthGBs = float64(s.offDieBytes) / seconds / 1e9
 	}
 	// pJ/bit x bits/s = pW; x1e-12 = W. GB/s x 8e9 = bits/s.
 	res.BusPowerW = s.cfg.BusPicoJoulePerBit * res.BandwidthGBs * 8e9 * 1e-12
-	return res, nil
+	return res
 }
 
 func addCacheStats(a, b cache.Stats) cache.Stats {

@@ -1,0 +1,166 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// Omega >= 2 makes the over-relaxed line iteration genuinely unstable,
+// so an absurd factor is the natural divergence-injection vector: no
+// hook or mock is needed, the arithmetic itself blows up.
+
+func TestSolveRecoversFromDivergence(t *testing.T) {
+	s := oneDStack(10)
+	f, err := Solve(s, SolveOptions{Omega: 5})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if f.Recoveries() == 0 {
+		t.Fatal("omega=5 should have required at least one damped restart")
+	}
+	// The recovered answer must match an undamaged solve.
+	ref, err := Solve(s, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Peak()-ref.Peak()) > 0.05 {
+		t.Fatalf("recovered peak %.4f differs from reference %.4f", f.Peak(), ref.Peak())
+	}
+}
+
+func TestSolveDivergesWithoutRecovery(t *testing.T) {
+	s := oneDStack(10)
+	_, err := Solve(s, SolveOptions{Omega: 5, MaxRecoveries: -1})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("want ErrDiverged, got %v", err)
+	}
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConvergenceError, got %T", err)
+	}
+	if !ce.Diverged {
+		t.Fatal("ConvergenceError.Diverged should be set")
+	}
+	if ce.Omega != 5 {
+		t.Fatalf("error should carry the diverging omega, got %g", ce.Omega)
+	}
+}
+
+func TestSolveReportsNonConvergenceWithResidual(t *testing.T) {
+	s := oneDStack(10)
+	// One cycle at an impossible tolerance cannot converge.
+	f, err := Solve(s, SolveOptions{MaxCycles: 1, Tolerance: 1e-300})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+	if errors.Is(err, ErrDiverged) {
+		t.Fatal("budget exhaustion is not divergence")
+	}
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConvergenceError, got %T", err)
+	}
+	if ce.Sweeps != 1 {
+		t.Fatalf("want 1 sweep recorded, got %d", ce.Sweeps)
+	}
+	if math.IsNaN(ce.Residual) || ce.Residual < 0 {
+		t.Fatalf("bad final residual %g", ce.Residual)
+	}
+	if f == nil {
+		t.Fatal("the partial field should still be returned for diagnosis")
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveContext(ctx, oneDStack(10), SolveOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTransientContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveTransientContext(ctx, oneDStack(10), TransientOptions{Dt: 0.01, Steps: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTransientRecoversFromInjectedNaN(t *testing.T) {
+	s := oneDStack(10)
+	// A stateful hook poisons the first integration attempt with NaN
+	// power and behaves on restarts — exactly the shape of a transient
+	// glitch the recovery path exists for.
+	poisoned := false
+	opt := TransientOptions{
+		Dt: 0.01, Steps: 5,
+		PowerScale: func(tm, peak float64) float64 {
+			if !poisoned {
+				poisoned = true
+				return math.NaN()
+			}
+			return 1
+		},
+	}
+	res, err := SolveTransient(s, opt)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("the NaN step should have forced at least one restart")
+	}
+	for i, p := range res.PeakC {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("step %d peak is non-finite after recovery: %g", i, p)
+		}
+	}
+}
+
+func TestTransientDivergesWithoutRecovery(t *testing.T) {
+	s := oneDStack(10)
+	opt := TransientOptions{
+		Dt: 0.01, Steps: 5, MaxRecoveries: -1,
+		PowerScale: func(tm, peak float64) float64 { return math.NaN() },
+	}
+	_, err := SolveTransient(s, opt)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("want ErrDiverged, got %v", err)
+	}
+}
+
+func TestTransientRecoveryHalvesTimestepLastResort(t *testing.T) {
+	s := oneDStack(10)
+	// Poison the first three attempts: the third restart is the last
+	// resort, which also halves Dt and doubles Steps.
+	attempts := 0
+	opt := TransientOptions{
+		Dt: 0.01, Steps: 4, MaxRecoveries: 3,
+		PowerScale: func(tm, peak float64) float64 {
+			if tm == 0 {
+				attempts++
+			}
+			if attempts <= 3 {
+				return math.NaN()
+			}
+			return 1
+		},
+	}
+	res, err := SolveTransient(s, opt)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if res.Recoveries != 3 {
+		t.Fatalf("want 3 recoveries, got %d", res.Recoveries)
+	}
+	if res.Dt != 0.005 {
+		t.Fatalf("last-resort restart should have halved Dt to 0.005, got %g", res.Dt)
+	}
+	if len(res.PeakC) != 8 {
+		t.Fatalf("halved Dt should double the steps to 8, got %d", len(res.PeakC))
+	}
+}

@@ -1,6 +1,10 @@
 package thermal
 
-import "math"
+import (
+	"context"
+	"errors"
+	"math"
+)
 
 // SolveOptions tunes the solver. Zero values select the defaults.
 type SolveOptions struct {
@@ -13,7 +17,15 @@ type SolveOptions struct {
 	// maximum temperature change is below 1e-4 K (default 1e-3).
 	Tolerance float64
 	// Omega over-relaxes the line updates, in (0,2) (default 1.8).
+	// Values at or above 2 make the iteration diverge; the solver
+	// detects the blow-up and retries with a damped factor (see
+	// MaxRecoveries).
 	Omega float64
+	// MaxRecoveries bounds the damped-relaxation restarts attempted
+	// after a detected divergence (NaN/Inf or sustained residual
+	// growth). Zero selects the default (2); negative disables recovery
+	// so a divergence fails immediately with ErrDiverged.
+	MaxRecoveries int
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -25,6 +37,12 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	}
 	if o.Omega == 0 {
 		o.Omega = 1.8
+	}
+	if o.MaxRecoveries == 0 {
+		o.MaxRecoveries = 2
+	}
+	if o.MaxRecoveries < 0 {
+		o.MaxRecoveries = 0
 	}
 	return o
 }
@@ -41,6 +59,9 @@ type Field struct {
 	nz       int
 	t        []float64 // [z][y][x] flattened
 	sweeps   int
+	// recoveries counts the damped-relaxation restarts that were needed
+	// to reach this solution (0 for a clean solve).
+	recoveries int
 	// Boundary conductances retained for HeatOut.
 	gTop, gBot []float64 // per lateral cell
 }
@@ -78,9 +99,37 @@ func (sv *solver) idx(z, y, x int) int { return (z*sv.ny+y)*sv.nx + x }
 // ones — so line relaxation along every axis is required for fast,
 // reliable convergence. Convergence is accepted on global energy
 // balance, not just per-sweep stagnation.
+//
+// A solve that exhausts its cycle budget without meeting tolerance
+// returns the partial field together with a *ConvergenceError wrapping
+// ErrNotConverged. A solve whose iteration blows up (NaN/Inf residual
+// or sustained residual growth) is restarted with a damped relaxation
+// factor up to MaxRecoveries times before giving up with a
+// *ConvergenceError wrapping ErrDiverged.
 func Solve(s *Stack, opt SolveOptions) (*Field, error) {
+	return SolveContext(context.Background(), s, opt)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// checked between alternating-direction cycles, and ctx.Err() is
+// returned as soon as the context is done.
+func SolveContext(ctx context.Context, s *Stack, opt SolveOptions) (*Field, error) {
 	opt = opt.withDefaults()
-	sv, err := newSolver(s, opt.Omega)
+	omega := opt.Omega
+	for attempt := 0; ; attempt++ {
+		f, err := solveOnce(ctx, s, opt, omega, attempt)
+		var ce *ConvergenceError
+		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
+			omega = dampOmega(omega)
+			continue
+		}
+		return f, err
+	}
+}
+
+// solveOnce runs one solve attempt at the given relaxation factor.
+func solveOnce(ctx context.Context, s *Stack, opt SolveOptions, omega float64, recoveries int) (*Field, error) {
+	sv, err := newSolver(s, omega)
 	if err != nil {
 		return nil, err
 	}
@@ -91,8 +140,18 @@ func Solve(s *Stack, opt SolveOptions) (*Field, error) {
 		gBoundary += sv.gTop[i] + sv.gBot[i]
 	}
 
+	// Divergence watchdog state: the first cycle's delta anchors the
+	// growth test, and grow counts consecutive growing cycles.
+	var delta0 float64
+	prevDelta := math.Inf(1)
+	grow := 0
+	converged := false
+
 	cycles := 0
 	for ; cycles < opt.MaxCycles; cycles++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d1 := sv.sweepZ()
 		d2 := sv.sweepX()
 		d3 := sv.sweepY()
@@ -111,16 +170,64 @@ func Solve(s *Stack, opt SolveOptions) (*Field, error) {
 			maxDelta = math.Abs(shift)
 		}
 
+		if cycles == 0 {
+			delta0 = maxDelta
+		}
+		if maxDelta > prevDelta {
+			grow++
+		} else {
+			grow = 0
+		}
+		prevDelta = maxDelta
+		// Divergence: a non-finite update, an update far beyond any
+		// physical temperature, or sustained geometric growth well
+		// above the starting delta. Legitimate solves shrink deltas
+		// from cycle one.
+		if !isFinite(maxDelta) || maxDelta > 1e8 || (grow >= 25 && maxDelta > 100*delta0) {
+			return nil, &ConvergenceError{
+				Residual:   sv.relResidual(),
+				Sweeps:     cycles + 1,
+				Omega:      omega,
+				Recoveries: recoveries,
+				Diverged:   true,
+			}
+		}
+
 		if maxDelta < 1e-4 {
 			out := sv.heatOut()
 			if sv.totalPower == 0 || math.Abs(out-sv.totalPower) <= opt.Tolerance*math.Max(sv.totalPower, 1e-9) {
 				cycles++
+				converged = true
 				break
 			}
 		}
 	}
 
-	return sv.field(cycles), nil
+	f := sv.field(cycles)
+	f.recoveries = recoveries
+	if !converged {
+		return f, &ConvergenceError{
+			Residual:   sv.relResidual(),
+			Sweeps:     cycles,
+			Omega:      omega,
+			Recoveries: recoveries,
+		}
+	}
+	return f, nil
+}
+
+// isFinite reports whether x is neither NaN nor infinite.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// relResidual returns the relative global energy imbalance
+// |heat out - power in| / power in (the absolute imbalance for a
+// passive stack).
+func (sv *solver) relResidual() float64 {
+	imbalance := math.Abs(sv.heatOut() - sv.totalPower)
+	if sv.totalPower == 0 {
+		return imbalance
+	}
+	return imbalance / sv.totalPower
 }
 
 // field packages the solver's current state.
@@ -521,6 +628,10 @@ func (sv *solver) sweepY() float64 {
 // Sweeps returns how many alternating-direction cycles the solution
 // took.
 func (f *Field) Sweeps() int { return f.sweeps }
+
+// Recoveries returns how many damped-relaxation restarts were needed
+// before this solution converged (0 for a clean solve).
+func (f *Field) Recoveries() int { return f.recoveries }
 
 // Stack returns the geometry the field was solved on.
 func (f *Field) Stack() *Stack { return f.stack }

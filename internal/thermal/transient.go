@@ -1,6 +1,8 @@
 package thermal
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -22,11 +24,19 @@ type TransientOptions struct {
 	// capacity term strengthens the diagonal, so less relaxation is
 	// needed than for steady solves).
 	Omega float64
+	// MaxRecoveries bounds the divergence-recovery restarts: when a
+	// step produces a non-finite temperature the whole integration is
+	// restarted with a damped relaxation factor, then with a halved
+	// time step (and doubled step count, preserving the horizon).
+	// Zero selects the default (2); negative disables recovery.
+	MaxRecoveries int
 	// PowerScale, when non-nil, is consulted before every step with
 	// the current simulated time and the previous step's peak
 	// temperature, and returns a multiplier applied to all power maps
 	// for the step. It is the hook for dynamic thermal management
 	// studies: a thermostat or DVFS governor closes the loop here.
+	// After a divergence recovery the integration restarts from t=0
+	// and the hook is consulted again from the beginning.
 	PowerScale func(t float64, peakC float64) float64
 }
 
@@ -36,6 +46,12 @@ func (o TransientOptions) withDefaults() TransientOptions {
 	}
 	if o.Omega == 0 {
 		o.Omega = 1.5
+	}
+	if o.MaxRecoveries == 0 {
+		o.MaxRecoveries = 2
+	}
+	if o.MaxRecoveries < 0 {
+		o.MaxRecoveries = 0
 	}
 	return o
 }
@@ -54,6 +70,14 @@ type TransientResult struct {
 	// Scale[i] is the power multiplier the PowerScale hook applied at
 	// step i (1.0 throughout when no hook is installed).
 	Scale []float64
+	// Recoveries counts the divergence-recovery restarts that were
+	// needed (0 for a clean integration). Each restart damps the
+	// relaxation factor; the final one also halves Dt. Dt reports the
+	// step actually used.
+	Recoveries int
+	// Dt is the time step the successful integration actually used
+	// (opt.Dt, or a halved value after recovery).
+	Dt float64
 }
 
 // SolveTransient integrates the time-dependent conservation equation
@@ -63,6 +87,20 @@ type TransientResult struct {
 // initial temperature, which answers "how fast does the stack heat
 // up" — the question steady-state analysis cannot.
 func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
+	return SolveTransientContext(context.Background(), s, opt)
+}
+
+// SolveTransientContext is SolveTransient with cooperative
+// cancellation: the context is checked between time steps, and
+// ctx.Err() is returned as soon as the context is done.
+//
+// A step that produces a non-finite temperature (a diverging inner
+// iteration, or a NaN injected through the power maps or the
+// PowerScale hook) triggers recovery: the integration restarts with a
+// damped relaxation factor, then with a halved time step, up to
+// MaxRecoveries times before giving up with a *ConvergenceError
+// wrapping ErrDiverged.
+func SolveTransientContext(ctx context.Context, s *Stack, opt TransientOptions) (*TransientResult, error) {
 	if opt.Dt <= 0 || opt.Steps <= 0 {
 		return nil, fmt.Errorf("thermal: transient needs positive Dt and Steps, got %g/%d", opt.Dt, opt.Steps)
 	}
@@ -71,7 +109,28 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 		return nil, fmt.Errorf("thermal: omega %g out of (0,2)", opt.Omega)
 	}
 
-	sv, err := newSolver(s, opt.Omega)
+	omega := opt.Omega
+	dt, steps := opt.Dt, opt.Steps
+	for attempt := 0; ; attempt++ {
+		res, err := transientOnce(ctx, s, opt, omega, dt, steps, attempt)
+		var ce *ConvergenceError
+		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
+			omega = dampOmega(omega)
+			if attempt+1 == opt.MaxRecoveries {
+				// Last resort: also halve the time step, doubling the
+				// step count to preserve the simulated horizon.
+				dt /= 2
+				steps *= 2
+			}
+			continue
+		}
+		return res, err
+	}
+}
+
+// transientOnce runs one integration attempt.
+func transientOnce(ctx context.Context, s *Stack, opt TransientOptions, omega, dt float64, steps, recoveries int) (*TransientResult, error) {
+	sv, err := newSolver(s, omega)
 	if err != nil {
 		return nil, err
 	}
@@ -83,15 +142,17 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 
 	baseQ := append([]float64(nil), sv.q...)
 	for i := range sv.capOverDt {
-		sv.capOverDt[i] = sv.cellCap[i] / opt.Dt
+		sv.capOverDt[i] = sv.cellCap[i] / dt
 	}
 	tOld := append([]float64(nil), sv.t...)
 
 	res := &TransientResult{
-		Times:   make([]float64, 0, opt.Steps),
-		PeakC:   make([]float64, 0, opt.Steps),
-		StoredJ: make([]float64, 0, opt.Steps),
-		Scale:   make([]float64, 0, opt.Steps),
+		Times:      make([]float64, 0, steps),
+		PeakC:      make([]float64, 0, steps),
+		StoredJ:    make([]float64, 0, steps),
+		Scale:      make([]float64, 0, steps),
+		Recoveries: recoveries,
+		Dt:         dt,
 	}
 	prevPeak := sv.t[0]
 	for _, v := range sv.t {
@@ -99,10 +160,13 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 			prevPeak = v
 		}
 	}
-	for step := 1; step <= opt.Steps; step++ {
+	for step := 1; step <= steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		scale := 1.0
 		if opt.PowerScale != nil {
-			scale = opt.PowerScale(float64(step-1)*opt.Dt, prevPeak)
+			scale = opt.PowerScale(float64(step-1)*dt, prevPeak)
 			if scale < 0 {
 				scale = 0
 			}
@@ -112,15 +176,17 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 		for i := range sv.q {
 			sv.q[i] = baseQ[i]*scale + sv.capOverDt[i]*tOld[i]
 		}
+		lastDelta := 0.0
 		for c := 0; c < opt.InnerCycles; c++ {
 			d1 := sv.sweepZ()
 			d2 := sv.sweepX()
 			d3 := sv.sweepY()
-			if math.Max(d1, math.Max(d2, d3)) < 1e-6 {
+			lastDelta = math.Max(d1, math.Max(d2, d3))
+			if lastDelta < 1e-6 {
 				break
 			}
 		}
-		res.Times = append(res.Times, float64(step)*opt.Dt)
+		res.Times = append(res.Times, float64(step)*dt)
 		peak := math.Inf(-1)
 		stored := 0.0
 		for i, v := range sv.t {
@@ -128,6 +194,17 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 				peak = v
 			}
 			stored += sv.cellCap[i] * (v - s.AmbientC)
+		}
+		// Divergence: a non-finite inner update or temperature means
+		// the step polluted the field; the caller restarts damped.
+		if !isFinite(lastDelta) || !isFinite(peak) {
+			return nil, &ConvergenceError{
+				Residual:   lastDelta,
+				Sweeps:     step,
+				Omega:      omega,
+				Recoveries: recoveries,
+				Diverged:   true,
+			}
 		}
 		res.PeakC = append(res.PeakC, peak)
 		res.StoredJ = append(res.StoredJ, stored)
@@ -140,7 +217,8 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 	for i := range sv.capOverDt {
 		sv.capOverDt[i] = 0
 	}
-	res.Final = sv.field(opt.Steps)
+	res.Final = sv.field(steps)
+	res.Final.recoveries = recoveries
 	return res, nil
 }
 

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -120,10 +121,21 @@ func (s *SliceStream) Len() int { return len(s.recs) }
 // Collect drains a stream into a slice, up to max records (max <= 0
 // means unlimited).
 func Collect(s Stream, max int) ([]Record, error) {
+	return CollectContext(context.Background(), s, max)
+}
+
+// CollectContext is Collect with cooperative cancellation, checked
+// every few thousand records.
+func CollectContext(ctx context.Context, s Stream, max int) ([]Record, error) {
 	var out []Record
 	for {
 		if max > 0 && len(out) >= max {
 			return out, nil
+		}
+		if len(out)%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return out, fmt.Errorf("trace: collect canceled after %d records: %w", len(out), err)
+			}
 		}
 		r, err := s.Next()
 		if errors.Is(err, io.EOF) {
@@ -147,10 +159,22 @@ var (
 // strictly increasing ids and dependencies that point strictly
 // backwards to ids that exist. It reads the whole stream.
 func Validate(s Stream) error {
+	return ValidateContext(context.Background(), s)
+}
+
+// ValidateContext is Validate with cooperative cancellation, checked
+// every few thousand records.
+func ValidateContext(ctx context.Context, s Stream) error {
 	seen := make(map[uint64]struct{})
 	first := true
 	var prev uint64
+	var n int
 	for {
+		if n++; n%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace: validate canceled after %d records: %w", n-1, err)
+			}
+		}
 		r, err := s.Next()
 		if errors.Is(err, io.EOF) {
 			return nil

@@ -13,4 +13,20 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== supervised campaign smoke =="
+# A small supervised sweep: every job must finish OK and the manifest
+# must be written, exercising the harness end to end from the CLI.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/stackmem -campaign -bench gauss -scale 0.05 -grid 16 \
+    -jobs 4 -retries 1 -manifest "$tmpdir/manifest.json"
+grep -q '"status": "ok"' "$tmpdir/manifest.json"
+
+echo "== checkpoint/resume smoke =="
+go run ./cmd/stackmem -checkpoint "$tmpdir/run.ckpt" -checkpoint-every 20000 \
+    -bench gauss -scale 0.1 -capacity 32 >"$tmpdir/full.out"
+go run ./cmd/stackmem -checkpoint "$tmpdir/run.ckpt" -resume \
+    -bench gauss -scale 0.1 -capacity 32 >"$tmpdir/resumed.out" 2>/dev/null
+cmp "$tmpdir/full.out" "$tmpdir/resumed.out"
+
 echo "verify: OK"
