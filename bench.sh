@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench.sh — run the headline benchmarks with -benchmem and write the
+# machine-readable baseline (BENCH_003.json by default): benchmark
+# name -> ns/op and allocs/op, plus the two headline metrics — the
+# Solve64 serial/parallel-8 ratio and the steady-state replay
+# allocs/op. Committed baselines from this script are how perf PRs
+# prove their before/after claims.
+#
+# Usage: ./bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")"
+out=${1:-BENCH_003.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -benchmem -benchtime 3x \
+    -bench 'BenchmarkSolve32$|BenchmarkSolve64$|BenchmarkSolve64Parallel8$|BenchmarkWorkspaceResolve32$' \
+    ./internal/thermal/ | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime 2s \
+    -bench 'BenchmarkReplaySteadyState$' \
+    ./internal/memhier/ | tee -a "$tmp"
+
+awk -v maxprocs="$(nproc)" -v goversion="$(go env GOVERSION)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[name] = $i
+        if ($(i+1) == "allocs/op") al[name] = $i
+    }
+    order[++n] = name
+}
+END {
+    printf "{\n"
+    printf "  \"baseline\": \"BENCH_003\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"gomaxprocs\": %s,\n", maxprocs
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], al[name], (i < n ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"headline\": {\n"
+    printf "    \"solve64_parallel8_speedup\": %.2f,\n", \
+        ns["BenchmarkSolve64"] / ns["BenchmarkSolve64Parallel8"]
+    printf "    \"replay_steady_state_allocs_per_op\": %s\n", \
+        al["BenchmarkReplaySteadyState"]
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" >"$out"
+
+echo "wrote $out"

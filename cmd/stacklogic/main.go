@@ -20,19 +20,24 @@ import (
 
 	"diestack/internal/core"
 	"diestack/internal/harness"
+	"diestack/internal/prof"
+	"diestack/internal/thermal"
 )
 
 func main() {
 	var (
-		t4Only    = flag.Bool("table4", false, "print Table 4 only")
-		t5Only    = flag.Bool("table5", false, "print Table 5 only")
-		thermOnly = flag.Bool("thermal", false, "print Figure 11 only")
-		autoOnly  = flag.Bool("autofold", false, "run the automatic fold and compare with the hand fold")
-		insts     = flag.Int("n", 200_000, "instructions per workload profile")
-		seed      = flag.Uint64("seed", 1, "workload generation seed")
-		grid      = flag.Int("grid", 0, "thermal grid resolution (0 = default 64)")
-		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
-		jobs      = flag.Int("jobs", 1, "solve the Figure 11 bars on this many parallel workers")
+		t4Only     = flag.Bool("table4", false, "print Table 4 only")
+		t5Only     = flag.Bool("table5", false, "print Table 5 only")
+		thermOnly  = flag.Bool("thermal", false, "print Figure 11 only")
+		autoOnly   = flag.Bool("autofold", false, "run the automatic fold and compare with the hand fold")
+		insts      = flag.Int("n", 200_000, "instructions per workload profile")
+		seed       = flag.Uint64("seed", 1, "workload generation seed")
+		grid       = flag.Int("grid", 0, "thermal grid resolution (0 = default 64)")
+		timeout    = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+		jobs       = flag.Int("jobs", 1, "solve the Figure 11 bars on this many parallel workers")
+		parallel   = flag.Int("parallel", 0, "thermal solver workers per solve (0 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -45,6 +50,13 @@ func main() {
 	if *jobs <= 0 {
 		fatal(fmt.Errorf("-jobs must be positive, got %d", *jobs))
 	}
+	if *parallel < 0 || *parallel > thermal.MaxParallelism() {
+		fatal(fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), *parallel))
+	}
+	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -67,7 +79,7 @@ func main() {
 	}
 	if *thermOnly || all {
 		fmt.Println()
-		if err := printFigure11(ctx, *grid, *jobs); err != nil {
+		if err := printFigure11(ctx, *grid, *jobs, *parallel); err != nil {
 			fatal(err)
 		}
 	}
@@ -80,6 +92,7 @@ func main() {
 }
 
 func fatal(err error) {
+	prof.Stop()
 	fmt.Fprintln(os.Stderr, "stacklogic:", err)
 	os.Exit(1)
 }
@@ -123,13 +136,13 @@ func printTable4(seed uint64, n int) error {
 	return nil
 }
 
-func printFigure11(ctx context.Context, grid, jobs int) error {
+func printFigure11(ctx context.Context, grid, jobs, parallel int) error {
 	var rows []core.LogicThermal
 	var err error
 	if jobs > 1 {
-		rows, err = runFigure11Parallel(ctx, grid, jobs)
+		rows, err = runFigure11Parallel(ctx, grid, jobs, parallel)
 	} else {
-		rows, err = core.RunFigure11Context(ctx, grid)
+		rows, err = core.RunFigure11Context(ctx, grid, parallel)
 	}
 	if err != nil {
 		return err
@@ -147,14 +160,14 @@ func printFigure11(ctx context.Context, grid, jobs int) error {
 
 // runFigure11Parallel solves the three Figure 11 bars as supervised
 // harness jobs and reassembles them in paper order.
-func runFigure11Parallel(ctx context.Context, grid, jobs int) ([]core.LogicThermal, error) {
+func runFigure11Parallel(ctx context.Context, grid, jobs, parallel int) ([]core.LogicThermal, error) {
 	var hjobs []harness.Job
 	for _, o := range core.LogicOptions() {
 		o := o
 		hjobs = append(hjobs, harness.Job{
 			Name: o.String(),
 			Run: func(ctx context.Context) (any, error) {
-				return core.RunLogicThermalContext(ctx, o, grid)
+				return core.RunLogicThermalContext(ctx, o, grid, parallel)
 			},
 		})
 	}

@@ -41,6 +41,7 @@ import (
 	"diestack/internal/fault"
 	"diestack/internal/harness"
 	"diestack/internal/memhier"
+	"diestack/internal/prof"
 	"diestack/internal/thermal"
 	"diestack/internal/trace"
 	"diestack/internal/workload"
@@ -68,6 +69,10 @@ func main() {
 		resumeFlag = flag.Bool("resume", false, "resume the -checkpoint replay from its last snapshot")
 		capacity   = flag.Int("capacity", 32, "L2 capacity in MB for the checkpointed replay (4, 12, 32 or 64)")
 
+		parallel   = flag.Int("parallel", 0, "thermal solver workers per solve (0 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
 		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed = same faults)")
 		faultCorr   = flag.Float64("fault-corr", 0, "correctable ECC errors per million stacked-DRAM reads")
 		faultUncorr = flag.Float64("fault-uncorr", 0, "uncorrectable ECC errors per million stacked-DRAM reads")
@@ -91,10 +96,17 @@ func main() {
 	if *ckptEvery <= 0 {
 		fatal(fmt.Errorf("-checkpoint-every must be positive, got %d", *ckptEvery))
 	}
+	if *parallel < 0 || *parallel > thermal.MaxParallelism() {
+		fatal(fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), *parallel))
+	}
 	fc, err := faultConfig(*faultSeed, *faultCorr, *faultUncorr, *faultBanks, *faultTSV)
 	if err != nil {
 		fatal(err)
 	}
+	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	// Interrupts cancel the run cooperatively: replays and solves
 	// observe the context and stop at the next check, leaving any
@@ -109,7 +121,7 @@ func main() {
 
 	switch {
 	case *campaign:
-		if err := runCampaign(ctx, *bench, *seed, *scale, *grid,
+		if err := runCampaign(ctx, *bench, *seed, *scale, *grid, *parallel,
 			*jobs, *retries, *timeout, *manifest); err != nil {
 			fatal(err)
 		}
@@ -127,11 +139,11 @@ func main() {
 	case *powerOnly:
 		printPower()
 	case *thermOnly:
-		if err := printThermal(*grid); err != nil {
+		if err := printThermal(*grid, *parallel); err != nil {
 			fatal(err)
 		}
 		if *pngOut != "" {
-			if err := writeThermalMap(*grid, *pngOut); err != nil {
+			if err := writeThermalMap(*grid, *parallel, *pngOut); err != nil {
 				fatal(err)
 			}
 		}
@@ -142,7 +154,7 @@ func main() {
 		fmt.Println()
 		printPower()
 		fmt.Println()
-		if err := printThermal(*grid); err != nil {
+		if err := printThermal(*grid, *parallel); err != nil {
 			fatal(err)
 		}
 	}
@@ -151,9 +163,9 @@ func main() {
 // runCampaign executes the paper sweep as a supervised campaign and
 // writes the manifest. Failed jobs do not abort the sweep; they are
 // recorded with their cause and the process exits non-zero.
-func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, grid,
+func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, grid, parallel,
 	jobs, retries int, timeout time.Duration, manifestPath string) error {
-	spec := core.CampaignSpec{Seed: seed, Scale: scale, Grid: grid}
+	spec := core.CampaignSpec{Seed: seed, Scale: scale, Grid: grid, Parallelism: parallel}
 	if bench != "" {
 		spec.Benchmarks = []string{bench}
 	}
@@ -185,6 +197,7 @@ func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, 
 	fmt.Fprintf(os.Stderr, "campaign: %d ok, %d failed, %d panicked, %d timeout, %d canceled\n",
 		m.OK, m.Failed, m.Panicked, m.Timeout, m.Canceled)
 	if m.OK != len(m.Jobs) {
+		prof.Stop()
 		os.Exit(1)
 	}
 	return nil
@@ -266,6 +279,7 @@ func faultConfig(seed uint64, corr, uncorr float64, deadBanks string, tsv float6
 }
 
 func fatal(err error) {
+	prof.Stop()
 	fmt.Fprintln(os.Stderr, "stackmem:", err)
 	os.Exit(1)
 }
@@ -427,8 +441,8 @@ func printPower() {
 }
 
 // writeThermalMap renders Figure 8(b): the 32MB stack's thermal map.
-func writeThermalMap(grid int, path string) error {
-	m, err := core.RunMemoryThermalMap(core.Stacked32MB, grid)
+func writeThermalMap(grid, parallel int, path string) error {
+	m, err := core.RunMemoryThermalMapContext(context.Background(), core.Stacked32MB, grid, parallel)
 	if err != nil {
 		return err
 	}
@@ -444,9 +458,9 @@ func writeThermalMap(grid int, path string) error {
 	return nil
 }
 
-func printThermal(grid int) error {
+func printThermal(grid, parallel int) error {
 	fmt.Println("Peak temperatures (Figure 8a):")
-	rows, err := core.RunFigure8(grid)
+	rows, err := core.RunFigure8Context(context.Background(), grid, parallel)
 	if err != nil {
 		return err
 	}

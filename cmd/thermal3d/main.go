@@ -29,6 +29,7 @@ import (
 	"diestack/internal/core"
 	"diestack/internal/dtm"
 	"diestack/internal/fault"
+	"diestack/internal/prof"
 	"diestack/internal/thermal"
 )
 
@@ -40,6 +41,10 @@ func main() {
 		grid      = flag.Int("grid", 0, "grid resolution (0 = default 64)")
 		pngOut    = flag.String("png", "", "also write the Figure 6 thermal map to this PNG file")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+		parallel  = flag.Int("parallel", 0, "thermal solver workers per solve (0 = serial)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		dtmOn      = flag.Bool("dtm", false, "run closed-loop thermal management on the 3D logic stack and exit")
 		tmax       = flag.Float64("tmax", 90, "DTM: peak temperature ceiling in degC")
@@ -58,6 +63,13 @@ func main() {
 	if *grid < 0 {
 		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
 	}
+	if *parallel < 0 || *parallel > thermal.MaxParallelism() {
+		fatal(fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), *parallel))
+	}
+	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -66,7 +78,7 @@ func main() {
 		defer cancel()
 	}
 	if *dtmOn {
-		if err := runDTM(*grid, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
+		if err := runDTM(*grid, *parallel, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
 			*sensorNoise, *sensorOffset, *sensorStuck, *faultSeed); err != nil {
 			fatal(err)
 		}
@@ -79,7 +91,7 @@ func main() {
 	}
 	if *baseOnly || all {
 		fmt.Println()
-		if err := printBaseline(ctx, *grid, *pngOut); err != nil {
+		if err := printBaseline(ctx, *grid, *parallel, *pngOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -93,7 +105,7 @@ func main() {
 
 // runDTM integrates the 3D logic stack with the DTM controller in the
 // loop and reports the managed operating point and its cost.
-func runDTM(grid int, tmax, hyst, dt float64, steps int, minFreq, noise, offset, stuck float64, seed uint64) error {
+func runDTM(grid, parallel int, tmax, hyst, dt float64, steps int, minFreq, noise, offset, stuck float64, seed uint64) error {
 	cfg := dtm.Config{TmaxC: tmax, HysteresisC: hyst, MinFreq: minFreq}
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("dtm flags: %w", err)
@@ -114,7 +126,7 @@ func runDTM(grid int, tmax, hyst, dt float64, steps int, minFreq, noise, offset,
 	}
 
 	res, err := core.RunManagedLogicThermal(core.Logic3D, grid, cfg, fc,
-		thermal.TransientOptions{Dt: dt, Steps: steps})
+		thermal.TransientOptions{Dt: dt, Steps: steps, Parallelism: parallel})
 	if err != nil && !errors.Is(err, dtm.ErrThermalRunaway) {
 		return err
 	}
@@ -137,12 +149,14 @@ func runDTM(grid int, tmax, hyst, dt float64, steps int, minFreq, noise, offset,
 	switch {
 	case err != nil:
 		fmt.Printf("  VERDICT: %v\n", err)
+		prof.Stop()
 		os.Exit(1)
 	case res.DTM.ManagedPeakC > tmax:
 		// No runaway, but sampling let the peak slip past the ceiling
 		// between interventions.
 		fmt.Printf("  VERDICT: Tmax exceeded transiently by %.2f degC — widen -dtm-hyst or shrink -dtm-dt\n",
 			res.DTM.ManagedPeakC-tmax)
+		prof.Stop()
 		os.Exit(1)
 	default:
 		fmt.Println("  VERDICT: Tmax held")
@@ -151,6 +165,7 @@ func runDTM(grid int, tmax, hyst, dt float64, steps int, minFreq, noise, offset,
 }
 
 func fatal(err error) {
+	prof.Stop()
 	fmt.Fprintln(os.Stderr, "thermal3d:", err)
 	os.Exit(1)
 }
@@ -179,8 +194,8 @@ func printMaterials() {
 
 // printBaseline solves the planar reference and renders the Figure 6
 // temperature map as ASCII shading.
-func printBaseline(ctx context.Context, grid int, pngOut string) error {
-	pd, tm, err := core.Figure6MapsContext(ctx, grid)
+func printBaseline(ctx context.Context, grid, parallel int, pngOut string) error {
+	pd, tm, err := core.Figure6MapsContext(ctx, grid, parallel)
 	if err != nil {
 		return err
 	}

@@ -113,15 +113,20 @@ type Eviction struct {
 	DirtySectors uint64
 }
 
-// Outcome reports the result of one access.
+// Outcome reports the result of one access. It is a plain value —
+// nothing in it escapes to the heap — so the replay loop's per-access
+// cost stays allocation-free.
 type Outcome struct {
 	// Hit is true when the addressed sector was present.
 	Hit bool
 	// LineHit is true when the line's tag matched, even if the sector
 	// itself was absent (a sector miss on a sectored cache).
 	LineHit bool
-	// Evicted is non-nil when the access displaced a valid line.
-	Evicted *Eviction
+	// Evicted is true when the access displaced a valid line, described
+	// by Eviction.
+	Evicted bool
+	// Eviction is meaningful only when Evicted is true.
+	Eviction Eviction
 }
 
 // Stats aggregates cache activity.
@@ -255,15 +260,16 @@ func (c *Cache) Access(addr uint64, write bool) Outcome {
 		}
 	}
 
-	var ev *Eviction
+	out := Outcome{Hit: false, LineHit: false}
 	if victim.valid {
 		c.stats.Evictions++
 		evAddr := c.reconstruct(victim.tag, c.index(addr))
+		out.Evicted = true
 		if victim.dirty != 0 {
 			c.stats.Writebacks++
-			ev = &Eviction{Addr: evAddr, Dirty: true, DirtySectors: victim.dirty}
+			out.Eviction = Eviction{Addr: evAddr, Dirty: true, DirtySectors: victim.dirty}
 		} else {
-			ev = &Eviction{Addr: evAddr}
+			out.Eviction = Eviction{Addr: evAddr}
 		}
 	}
 
@@ -275,7 +281,7 @@ func (c *Cache) Access(addr uint64, write bool) Outcome {
 		victim.dirty = sb
 	}
 	victim.lru = c.seq
-	return Outcome{Hit: false, LineHit: false, Evicted: ev}
+	return out
 }
 
 // reconstruct rebuilds a line base address from tag and set index.
@@ -298,9 +304,9 @@ func (c *Cache) Probe(addr uint64) bool {
 }
 
 // Invalidate drops the line containing addr if present, returning the
-// eviction record (nil if the line was absent). Used for coherence
-// invalidations from the other core.
-func (c *Cache) Invalidate(addr uint64) *Eviction {
+// eviction record by value (ok=false when the line was absent). Used
+// for coherence invalidations from the other core.
+func (c *Cache) Invalidate(addr uint64) (ev Eviction, ok bool) {
 	set := c.sets[c.index(addr)]
 	tag := c.tag(addr)
 	for i := range set {
@@ -309,7 +315,7 @@ func (c *Cache) Invalidate(addr uint64) *Eviction {
 			continue
 		}
 		c.stats.Invalidates++
-		ev := &Eviction{Addr: c.reconstruct(w.tag, c.index(addr))}
+		ev = Eviction{Addr: c.reconstruct(w.tag, c.index(addr))}
 		if w.dirty != 0 {
 			ev.Dirty = true
 			ev.DirtySectors = w.dirty
@@ -317,9 +323,9 @@ func (c *Cache) Invalidate(addr uint64) *Eviction {
 		w.valid = false
 		w.present = 0
 		w.dirty = 0
-		return ev
+		return ev, true
 	}
-	return nil
+	return Eviction{}, false
 }
 
 // WayState is the serializable state of one cache way.

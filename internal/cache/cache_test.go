@@ -98,8 +98,8 @@ func TestLRUReplacement(t *testing.T) {
 	c.Access(128, false) // B -> set 0
 	c.Access(0, false)   // touch A; B is now LRU
 	out := c.Access(256, false)
-	if out.Evicted == nil || out.Evicted.Addr != 128 {
-		t.Fatalf("expected eviction of LRU line 128, got %+v", out.Evicted)
+	if !out.Evicted || out.Eviction.Addr != 128 {
+		t.Fatalf("expected eviction of LRU line 128, got %+v", out)
 	}
 	if !c.Probe(0) {
 		t.Fatal("MRU line A was evicted")
@@ -110,16 +110,16 @@ func TestWritebackOnDirtyEviction(t *testing.T) {
 	c := New(Config{SizeBytes: 128, LineBytes: 64, Ways: 1})
 	c.Access(0, true)           // dirty A in set 0
 	out := c.Access(128, false) // evicts A
-	if out.Evicted == nil || !out.Evicted.Dirty || out.Evicted.Addr != 0 {
-		t.Fatalf("dirty eviction missing: %+v", out.Evicted)
+	if !out.Evicted || !out.Eviction.Dirty || out.Eviction.Addr != 0 {
+		t.Fatalf("dirty eviction missing: %+v", out)
 	}
 	if c.Stats().Writebacks != 1 {
 		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
 	}
 	// Clean eviction produces no writeback.
 	out = c.Access(0, false)
-	if out.Evicted == nil || out.Evicted.Dirty {
-		t.Fatalf("clean eviction wrong: %+v", out.Evicted)
+	if !out.Evicted || out.Eviction.Dirty {
+		t.Fatalf("clean eviction wrong: %+v", out)
 	}
 }
 
@@ -151,11 +151,11 @@ func TestSectoredDirtyMask(t *testing.T) {
 	c.Access(128, true) // sector 2 dirty
 	c.Access(192, false)
 	out := c.Access(1024, false) // same set as line 0 (2 sets x 512B) -> evict
-	if out.Evicted == nil || !out.Evicted.Dirty {
+	if !out.Evicted || !out.Eviction.Dirty {
 		t.Fatal("expected dirty eviction")
 	}
-	if out.Evicted.DirtySectors != 0b101 {
-		t.Fatalf("DirtySectors = %b, want 101", out.Evicted.DirtySectors)
+	if out.Eviction.DirtySectors != 0b101 {
+		t.Fatalf("DirtySectors = %b, want 101", out.Eviction.DirtySectors)
 	}
 }
 
@@ -172,23 +172,23 @@ func TestProbeDoesNotDisturb(t *testing.T) {
 	}
 	// Probe must not refresh LRU: line 0 is LRU, a new line evicts it.
 	out := c.Access(256, false)
-	if out.Evicted == nil || out.Evicted.Addr != 0 {
-		t.Fatalf("probe refreshed LRU: %+v", out.Evicted)
+	if !out.Evicted || out.Eviction.Addr != 0 {
+		t.Fatalf("probe refreshed LRU: %+v", out)
 	}
 }
 
 func TestInvalidate(t *testing.T) {
 	c := New(l1Cfg())
 	c.Access(0x2000, true)
-	ev := c.Invalidate(0x2000)
-	if ev == nil || !ev.Dirty {
-		t.Fatalf("invalidate of dirty line: %+v", ev)
+	ev, ok := c.Invalidate(0x2000)
+	if !ok || !ev.Dirty {
+		t.Fatalf("invalidate of dirty line: %+v (ok=%v)", ev, ok)
 	}
 	if c.Probe(0x2000) {
 		t.Fatal("line still present after invalidate")
 	}
-	if c.Invalidate(0x2000) != nil {
-		t.Fatal("second invalidate should return nil")
+	if _, ok := c.Invalidate(0x2000); ok {
+		t.Fatal("second invalidate should report absent")
 	}
 	if c.Stats().Invalidates != 1 {
 		t.Fatalf("Invalidates = %d", c.Stats().Invalidates)
@@ -231,8 +231,8 @@ func TestPresenceInvariantQuick(t *testing.T) {
 			out := c.Access(addr, a%2 == 0)
 			line := c.LineAddr(addr)
 			present[line] = true
-			if out.Evicted != nil {
-				delete(present, out.Evicted.Addr)
+			if out.Evicted {
+				delete(present, out.Eviction.Addr)
 			}
 			if !c.Probe(addr) {
 				return false // just-accessed address must be present
@@ -259,8 +259,8 @@ func TestEvictionGeometryQuick(t *testing.T) {
 		for _, a := range addrs {
 			addr := uint64(a)
 			out := c.Access(addr, false)
-			if out.Evicted != nil {
-				ev := out.Evicted.Addr
+			if out.Evicted {
+				ev := out.Eviction.Addr
 				if ev%128 != 0 {
 					return false
 				}
@@ -309,7 +309,7 @@ func TestFullyAssociativeSweep(t *testing.T) {
 	}
 	// One more line evicts exactly the LRU (line 0).
 	out := c.Access(16*64, false)
-	if out.Evicted == nil || out.Evicted.Addr != 0 {
-		t.Fatalf("expected eviction of line 0, got %+v", out.Evicted)
+	if !out.Evicted || out.Eviction.Addr != 0 {
+		t.Fatalf("expected eviction of line 0, got %+v", out)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"diestack/internal/harness"
+	"diestack/internal/thermal"
 	"diestack/internal/workload"
 )
 
@@ -27,6 +28,11 @@ type CampaignSpec struct {
 	// SkipThermal drops the Figure 8 / Figure 11 jobs, leaving a
 	// memory-performance-only campaign.
 	SkipThermal bool
+	// Parallelism is the thermal solver's worker count per solve (0 =
+	// serial; see thermal.SolveOptions.Parallelism). It multiplies with
+	// harness.Config.Workers: a campaign running W jobs at P workers
+	// each keeps W*P goroutines busy.
+	Parallelism int
 }
 
 // CampaignJobs expands the spec into the job list: one job per
@@ -35,6 +41,11 @@ type CampaignSpec struct {
 // option named "fig11/logic/<variant>". Job names are stable so
 // manifests from identical specs are comparable.
 func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
+	if spec.Parallelism < 0 || spec.Parallelism > thermal.MaxParallelism() {
+		// Fail the whole campaign up front rather than every thermal job
+		// individually, with the solver's own typed error.
+		return nil, &thermal.ParallelismError{Requested: spec.Parallelism, Max: thermal.MaxParallelism()}
+	}
 	benches := workload.All()
 	if len(spec.Benchmarks) > 0 {
 		benches = benches[:0]
@@ -66,7 +77,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 			jobs = append(jobs, harness.Job{
 				Name: fmt.Sprintf("fig8/thermal/%dMB", o.CapacityMB()),
 				Run: func(ctx context.Context) (any, error) {
-					return RunMemoryThermalContext(ctx, o, spec.Grid)
+					return RunMemoryThermalContext(ctx, o, spec.Grid, spec.Parallelism)
 				},
 			})
 		}
@@ -75,7 +86,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 			jobs = append(jobs, harness.Job{
 				Name: "fig11/logic/" + logicSlug(o),
 				Run: func(ctx context.Context) (any, error) {
-					return RunLogicThermalContext(ctx, o, spec.Grid)
+					return RunLogicThermalContext(ctx, o, spec.Grid, spec.Parallelism)
 				},
 			})
 		}

@@ -97,18 +97,19 @@ func solveLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) (*th
 // RunLogicThermal solves one Figure 11 bar. grid <= 0 selects the
 // default resolution.
 func RunLogicThermal(o LogicOption, grid int) (LogicThermal, error) {
-	return RunLogicThermalContext(context.Background(), o, grid)
+	return RunLogicThermalContext(context.Background(), o, grid, 0)
 }
 
 // RunLogicThermalContext is RunLogicThermal under supervision. A
 // non-converging solve surfaces thermal.ErrNotConverged wrapped with
-// the option being solved.
-func RunLogicThermalContext(ctx context.Context, o LogicOption, grid int) (LogicThermal, error) {
+// the option being solved. parallel is the solver worker count (0 =
+// serial).
+func RunLogicThermalContext(ctx context.Context, o LogicOption, grid, parallel int) (LogicThermal, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return LogicThermal{}, err
 	}
-	field, err := thermal.SolveContext(ctx, buildLogicStack(fp, grid, 1), thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, buildLogicStack(fp, grid, 1), thermal.SolveOptions{Parallelism: parallel})
 	if err != nil {
 		return LogicThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -124,14 +125,15 @@ func RunLogicThermalContext(ctx context.Context, o LogicOption, grid int) (Logic
 
 // RunFigure11 solves all three bars.
 func RunFigure11(grid int) ([]LogicThermal, error) {
-	return RunFigure11Context(context.Background(), grid)
+	return RunFigure11Context(context.Background(), grid, 0)
 }
 
-// RunFigure11Context is RunFigure11 under supervision.
-func RunFigure11Context(ctx context.Context, grid int) ([]LogicThermal, error) {
+// RunFigure11Context is RunFigure11 under supervision. parallel is the
+// solver worker count (0 = serial).
+func RunFigure11Context(ctx context.Context, grid, parallel int) ([]LogicThermal, error) {
 	out := make([]LogicThermal, 0, 3)
 	for _, o := range LogicOptions() {
-		r, err := RunLogicThermalContext(ctx, o, grid)
+		r, err := RunLogicThermalContext(ctx, o, grid, parallel)
 		if err != nil {
 			return nil, err
 		}

@@ -265,13 +265,15 @@ type MemoryThermal struct {
 // RunMemoryThermal solves the option's thermal stack (Figure 8).
 // grid <= 0 selects the default resolution.
 func RunMemoryThermal(o MemoryOption, grid int) (MemoryThermal, error) {
-	return RunMemoryThermalContext(context.Background(), o, grid)
+	return RunMemoryThermalContext(context.Background(), o, grid, 0)
 }
 
 // RunMemoryThermalContext is RunMemoryThermal under supervision. A
 // solver that fails to converge surfaces thermal.ErrNotConverged (or
 // thermal.ErrDiverged) wrapped with the option it was solving.
-func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid int) (MemoryThermal, error) {
+// parallel is the solver worker count (0 = serial, see
+// thermal.SolveOptions.Parallelism).
+func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid, parallel int) (MemoryThermal, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return MemoryThermal{}, err
@@ -290,7 +292,7 @@ func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid int) (Mem
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Parallelism: parallel})
 	if err != nil {
 		return MemoryThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -311,11 +313,12 @@ func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid int) (Mem
 // active layer's lateral temperature map — Figure 8(b) is this map for
 // the 32 MB configuration. grid <= 0 selects the default resolution.
 func RunMemoryThermalMap(o MemoryOption, grid int) ([][]float64, error) {
-	return RunMemoryThermalMapContext(context.Background(), o, grid)
+	return RunMemoryThermalMapContext(context.Background(), o, grid, 0)
 }
 
 // RunMemoryThermalMapContext is RunMemoryThermalMap under supervision.
-func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid int) ([][]float64, error) {
+// parallel is the solver worker count (0 = serial).
+func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid, parallel int) ([][]float64, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return nil, err
@@ -333,7 +336,7 @@ func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid int) (
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Parallelism: parallel})
 	if err != nil {
 		return nil, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -346,14 +349,15 @@ func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid int) (
 
 // RunFigure8 solves all four options (Figure 8a).
 func RunFigure8(grid int) ([]MemoryThermal, error) {
-	return RunFigure8Context(context.Background(), grid)
+	return RunFigure8Context(context.Background(), grid, 0)
 }
 
-// RunFigure8Context is RunFigure8 under supervision.
-func RunFigure8Context(ctx context.Context, grid int) ([]MemoryThermal, error) {
+// RunFigure8Context is RunFigure8 under supervision. parallel is the
+// solver worker count (0 = serial).
+func RunFigure8Context(ctx context.Context, grid, parallel int) ([]MemoryThermal, error) {
 	out := make([]MemoryThermal, 0, 4)
 	for _, o := range MemoryOptions() {
-		r, err := RunMemoryThermalContext(ctx, o, grid)
+		r, err := RunMemoryThermalContext(ctx, o, grid, parallel)
 		if err != nil {
 			return nil, err
 		}

@@ -93,11 +93,12 @@ func RunFigure3Context(ctx context.Context, layer SweepLayer, ks []float64, grid
 // temperature map (degC) of the active layer, the two panels of
 // Figure 6. grid <= 0 selects the default resolution.
 func Figure6Maps(grid int) (powerDensity [][]float64, temperature [][]float64, err error) {
-	return Figure6MapsContext(context.Background(), grid)
+	return Figure6MapsContext(context.Background(), grid, 0)
 }
 
-// Figure6MapsContext is Figure6Maps under supervision.
-func Figure6MapsContext(ctx context.Context, grid int) (powerDensity [][]float64, temperature [][]float64, err error) {
+// Figure6MapsContext is Figure6Maps under supervision. parallel is the
+// solver worker count (0 = serial).
+func Figure6MapsContext(ctx context.Context, grid, parallel int) (powerDensity [][]float64, temperature [][]float64, err error) {
 	fp := floorplan.Core2DuoPlanar()
 	nx, ny := gridOrDefault(grid)
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
@@ -113,7 +114,7 @@ func Figure6MapsContext(ctx context.Context, grid int) (powerDensity [][]float64
 	}
 
 	stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: nx, Ny: ny})
-	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
+	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Parallelism: parallel})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: planar thermal solve: %w", err)
 	}

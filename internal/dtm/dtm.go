@@ -312,11 +312,25 @@ type Result struct {
 // throttle (and the fallback, if armed) could not hold Tmax; the
 // partial Result is still returned alongside it for diagnosis.
 func Run(s *thermal.Stack, opt thermal.TransientOptions, ctrl *Controller) (Result, error) {
+	w, err := thermal.NewWorkspace(s)
+	if err != nil {
+		return Result{}, fmt.Errorf("dtm: transient solve: %w", err)
+	}
+	defer w.Close()
+	return RunWorkspace(w, opt, ctrl)
+}
+
+// RunWorkspace is Run on a caller-owned thermal Workspace: a campaign
+// running many managed transients over one geometry discretizes the
+// stack once and reuses it (power-map edits between runs are picked
+// up). The workspace remains usable — and owned by the caller —
+// afterwards.
+func RunWorkspace(w *thermal.Workspace, opt thermal.TransientOptions, ctrl *Controller) (Result, error) {
 	if opt.PowerScale != nil {
 		return Result{}, fmt.Errorf("dtm: TransientOptions.PowerScale is reserved for the controller")
 	}
 	opt.PowerScale = ctrl.Step
-	tr, err := thermal.SolveTransient(s, opt)
+	tr, err := w.SolveTransient(opt)
 	if err != nil {
 		return Result{}, fmt.Errorf("dtm: transient solve: %w", err)
 	}

@@ -30,3 +30,42 @@ func replayBench(b *testing.B, cfg Config) {
 
 func BenchmarkReplaySRAM(b *testing.B) { replayBench(b, BaselineConfig()) }
 func BenchmarkReplayDRAM(b *testing.B) { replayBench(b, StackedDRAMConfig(32)) }
+
+// benchStream is an endless synthetic record source: strictly
+// increasing ids, no dependencies, a strided address pattern that
+// misses through the hierarchy. Next never allocates.
+type benchStream struct{ id uint64 }
+
+func (s *benchStream) Next() (trace.Record, error) {
+	r := trace.Record{
+		ID:   s.id,
+		Dep:  trace.NoDep,
+		Addr: (s.id * 67 * 64) % (24 << 20),
+		CPU:  uint8(s.id % 2),
+		Kind: trace.Load,
+		Reps: 7,
+	}
+	s.id++
+	return r, nil
+}
+
+// BenchmarkReplaySteadyState measures the per-record cost of a warm
+// replay loop with the simulator built once — the regime a
+// billion-record campaign run spends essentially all its time in. One
+// op is one record; allocs/op must report 0 (the fixed run-state setup
+// amortizes to nothing over b.N records).
+func BenchmarkReplaySteadyState(b *testing.B) {
+	sim, err := New(StackedDRAMConfig(32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := &benchStream{}
+	if _, err := sim.Run(src, 10_000); err != nil { // warm the caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sim.Run(src, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -83,16 +83,25 @@ type Checkpoint struct {
 	Faults      *fault.State // nil when injection is disabled
 }
 
-// checkpoint snapshots the simulator and loop state. All slices are
-// deep-copied so the snapshot is immune to further replay.
+// checkpoint snapshots the simulator and loop state into the
+// simulator's reusable scratch Checkpoint. All slices are deep-copied
+// (reusing scratch capacity from previous snapshots) so the snapshot is
+// immune to further replay; the returned pointer is only valid until
+// the next checkpoint call.
 func (s *Simulator) checkpoint(st *runState) *Checkpoint {
-	cp := &Checkpoint{
+	cp := &s.cpScratch
+	*cp = Checkpoint{
 		Config:      s.cfg,
 		Records:     st.records,
 		StreamHash:  st.hash,
-		Slot:        append([]int64(nil), st.slot...),
-		MSHRPos:     append([]int(nil), st.mshrPos...),
-		ROBPos:      append([]int(nil), st.robPos...),
+		Slot:        append(cp.Slot[:0], st.slot...),
+		Done:        cp.Done[:0],
+		MSHRPos:     append(cp.MSHRPos[:0], st.mshrPos...),
+		ROBPos:      append(cp.ROBPos[:0], st.robPos...),
+		MSHR:        cp.MSHR,
+		ROB:         cp.ROB,
+		L1I:         cp.L1I[:0],
+		L1D:         cp.L1D[:0],
 		Refs:        st.refs,
 		Wall:        st.wall,
 		SumLat:      st.sumLat,
@@ -109,13 +118,17 @@ func (s *Simulator) checkpoint(st *runState) *Checkpoint {
 			cp.Done = append(cp.Done, DepEntry{W: uint64(w), ID: id, At: st.doneAt[w]})
 		}
 	}
-	cp.MSHR = make([][]int64, len(st.mshr))
-	for i := range st.mshr {
-		cp.MSHR[i] = append([]int64(nil), st.mshr[i]...)
+	if len(cp.MSHR) != len(st.mshr) {
+		cp.MSHR = make([][]int64, len(st.mshr))
 	}
-	cp.ROB = make([][]int64, len(st.rob))
+	for i := range st.mshr {
+		cp.MSHR[i] = append(cp.MSHR[i][:0], st.mshr[i]...)
+	}
+	if len(cp.ROB) != len(st.rob) {
+		cp.ROB = make([][]int64, len(st.rob))
+	}
 	for i := range st.rob {
-		cp.ROB[i] = append([]int64(nil), st.rob[i]...)
+		cp.ROB[i] = append(cp.ROB[i][:0], st.rob[i]...)
 	}
 	for i := 0; i < s.cfg.Cores; i++ {
 		cp.L1I = append(cp.L1I, s.l1i[i].State())
@@ -237,19 +250,17 @@ func (s *Simulator) restore(st *runState, cp *Checkpoint, stream trace.Stream) e
 // renamed over path, so a kill mid-write never destroys the previous
 // snapshot.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
-	var blob bytes.Buffer
-	if err := gob.NewEncoder(&blob).Encode(cp); err != nil {
-		return fmt.Errorf("memhier: encoding checkpoint: %w", err)
-	}
 	var buf bytes.Buffer
-	buf.WriteString(checkpointMagic)
-	var hdr [16]byte
-	binary.BigEndian.PutUint32(hdr[0:4], checkpointVersion)
-	binary.BigEndian.PutUint64(hdr[4:12], uint64(blob.Len()))
-	binary.BigEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(blob.Bytes()))
-	buf.Write(hdr[:])
-	buf.Write(blob.Bytes())
+	return saveCheckpoint(path, cp, &buf)
+}
 
+// saveCheckpoint is SaveCheckpoint with a caller-supplied encode
+// buffer, so the periodic-snapshot path can reuse one buffer across
+// the run instead of growing a fresh one per checkpoint.
+func saveCheckpoint(path string, cp *Checkpoint, buf *bytes.Buffer) error {
+	if err := encodeCheckpoint(buf, cp); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -266,6 +277,27 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("memhier: installing checkpoint: %w", err)
 	}
+	return nil
+}
+
+// encodeCheckpoint frames cp into buf, reusing buf's capacity: the
+// magic and a reserved header go in first, the gob blob is encoded
+// directly behind them, and the header's length and CRC fields are
+// patched in place once the blob size is known.
+func encodeCheckpoint(buf *bytes.Buffer, cp *Checkpoint) error {
+	buf.Reset()
+	buf.WriteString(checkpointMagic)
+	var hdr [16]byte
+	buf.Write(hdr[:]) // patched below
+	if err := gob.NewEncoder(buf).Encode(cp); err != nil {
+		return fmt.Errorf("memhier: encoding checkpoint: %w", err)
+	}
+	framed := buf.Bytes()
+	blob := framed[len(checkpointMagic)+16:]
+	h := framed[len(checkpointMagic):]
+	binary.BigEndian.PutUint32(h[0:4], checkpointVersion)
+	binary.BigEndian.PutUint64(h[4:12], uint64(len(blob)))
+	binary.BigEndian.PutUint32(h[12:16], crc32.ChecksumIEEE(blob))
 	return nil
 }
 

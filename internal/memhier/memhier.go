@@ -13,6 +13,7 @@
 package memhier
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -218,6 +219,12 @@ type Simulator struct {
 	invals      uint64
 	repHits     uint64
 	latencies   *stats.Histogram
+
+	// Periodic-checkpoint scratch, reused across snapshots of one run so
+	// a checkpointed replay does not regrow the snapshot slices and
+	// encode buffer every interval.
+	cpScratch Checkpoint
+	cpBuf     bytes.Buffer
 }
 
 // New builds a simulator, returning an error for invalid configs.
@@ -452,7 +459,7 @@ func (s *Simulator) RunContext(ctx context.Context, stream trace.Stream, opt Run
 		st.records++
 
 		if opt.CheckpointEvery > 0 && st.records%uint64(opt.CheckpointEvery) == 0 {
-			if err := SaveCheckpoint(opt.CheckpointPath, s.checkpoint(st)); err != nil {
+			if err := saveCheckpoint(opt.CheckpointPath, s.checkpoint(st), &s.cpBuf); err != nil {
 				return Result{}, fmt.Errorf("memhier: writing checkpoint at record %d: %w", st.records, err)
 			}
 		}
@@ -532,8 +539,8 @@ func (s *Simulator) access(now int64, cpu int, addr uint64, kind trace.Kind) int
 	}
 	// A displaced dirty L1 line is written back into the shared L2
 	// off the critical path.
-	if out.Evicted != nil && out.Evicted.Dirty {
-		s.l2Access(t, out.Evicted.Addr, true)
+	if out.Evicted && out.Eviction.Dirty {
+		s.l2Access(t, out.Eviction.Addr, true)
 	}
 	return s.l2Access(t, addr, false)
 }
@@ -547,7 +554,7 @@ func (s *Simulator) invalidateOthers(cpu int, addr uint64, now int64) {
 		if i == cpu {
 			continue
 		}
-		if ev := other.Invalidate(addr); ev != nil {
+		if ev, ok := other.Invalidate(addr); ok {
 			s.invals++
 			if ev.Dirty {
 				s.l2Access(now, ev.Addr, true)
@@ -566,7 +573,7 @@ func (s *Simulator) l2Access(t int64, addr uint64, write bool) int64 {
 		if out.Hit {
 			return tagDone
 		}
-		s.handleL2Eviction(tagDone, out.Evicted)
+		s.handleL2Eviction(tagDone, out)
 		// Fill the line from main memory over the bus.
 		return s.memAccess(tagDone, addr, false, s.cfg.L2.LineBytes)
 	}
@@ -602,7 +609,7 @@ func (s *Simulator) l2Access(t int64, addr uint64, write bool) int64 {
 		s.darr.Access(fill, addr, true)
 		return fill
 	default:
-		s.handleL2Eviction(tagDone, out.Evicted)
+		s.handleL2Eviction(tagDone, out)
 		fill := s.memAccess(tagDone, addr, false, sectorBytes(s.cfg.L2))
 		s.darr.Access(fill, addr, true)
 		return fill
@@ -658,16 +665,16 @@ func sectorBytes(c cache.Config) uint64 {
 }
 
 // handleL2Eviction writes dirty evicted data back to main memory.
-func (s *Simulator) handleL2Eviction(t int64, ev *cache.Eviction) {
-	if ev == nil || !ev.Dirty {
+func (s *Simulator) handleL2Eviction(t int64, out cache.Outcome) {
+	if !out.Evicted || !out.Eviction.Dirty {
 		return
 	}
 	granule := sectorBytes(s.cfg.L2)
-	n := popcount(ev.DirtySectors)
+	n := popcount(out.Eviction.DirtySectors)
 	if s.cfg.L2.SectorBytes == 0 {
 		n = 1
 	}
-	s.memAccess(t, ev.Addr, true, granule*uint64(n))
+	s.memAccess(t, out.Eviction.Addr, true, granule*uint64(n))
 }
 
 func popcount(x uint64) int {

@@ -1,0 +1,64 @@
+// Package prof wires runtime/pprof CPU and heap profiling into the
+// command-line tools, so perf investigations never need code edits:
+// every cmd takes -cpuprofile/-memprofile and calls Start/Stop around
+// its work.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuFile *os.File
+	memPath string
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges
+// for a heap profile to be written to memPath (if non-empty) when Stop
+// is called. Either path may be empty; with both empty Start is a
+// no-op.
+func Start(cpuPath, memPath_ string) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("prof: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("prof: starting cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	memPath = memPath_
+	return nil
+}
+
+// Stop flushes and closes any active profiles. It is idempotent and
+// safe to call on exit paths that never started profiling; errors are
+// reported on stderr rather than returned, since callers are usually
+// already exiting.
+func Stop() {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: closing cpu profile: %v\n", err)
+		}
+		cpuFile = nil
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof: creating mem profile: %v\n", err)
+		} else {
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: writing mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+		memPath = ""
+	}
+}

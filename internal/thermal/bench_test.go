@@ -25,6 +25,43 @@ func BenchmarkSolve64(b *testing.B) {
 	}
 }
 
+// BenchmarkSolve64Parallel8 is the headline parallel benchmark: the
+// same solve as BenchmarkSolve64 on an 8-worker pipelined pool, with
+// bit-identical output. Speedup requires cores; on a single-CPU host
+// the workers time-share and this measures pipeline overhead instead.
+func BenchmarkSolve64Parallel8(b *testing.B) {
+	s := benchStack(64)
+	w, err := NewWorkspace(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(SolveOptions{Parallelism: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkspaceResolve32 measures a re-solve on a kept Workspace
+// (the retry/DTM/sweep path): discretization is amortized away, only
+// iteration remains.
+func BenchmarkWorkspaceResolve32(b *testing.B) {
+	s := benchStack(32)
+	w, err := NewWorkspace(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTransientStep(b *testing.B) {
 	s := benchStack(32)
 	b.ResetTimer()

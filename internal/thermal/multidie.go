@@ -16,6 +16,11 @@ import "fmt"
 //
 // Each die after the first pays its predecessors' thermal resistance;
 // MultiDieStack exists precisely to quantify that.
+//
+// Tall stacks carry proportionally more z cells, so their solves are
+// the ones that benefit most from a Workspace (one discretization for
+// many solves) and SolveOptions.Parallelism (pipelined parallel
+// sweeps).
 func MultiDieStack(dieW, dieH float64, dies []DieSpec, opt StackOptions) (*Stack, error) {
 	if len(dies) < 2 {
 		return nil, fmt.Errorf("thermal: MultiDieStack needs at least 2 dies, got %d", len(dies))

@@ -1,0 +1,180 @@
+// Pipelined parallel sweeps. Each alternating-direction sweep is a
+// line Gauss-Seidel pass with a serial dependency along exactly one
+// lateral axis (lines read the already-updated values of lower-indexed
+// neighbors). The pool partitions the *other* serial axis into one
+// contiguous block per worker and pipelines along the dependency axis:
+// worker b may process pipeline step s of its block only once worker
+// b-1 has finished step s. Under that schedule every line reads exactly
+// the values the serial sweep would have read — updated below/behind,
+// pre-sweep ahead — so the parallel solver is bit-identical to the
+// serial one at any worker count, and trivially deterministic
+// run-to-run. Sweep-to-sweep max-delta reduction folds the per-worker
+// partial maxima in fixed worker order.
+//
+// Concretely, per sweep (serial loop order shown as outer/inner):
+//
+//	sweepZ (y outer, x inner): partition y, pipeline x
+//	sweepX (z outer, y inner): partition z, pipeline y
+//	sweepY (z outer, x inner): partition z, pipeline x
+//
+// The handoff between adjacent workers is an atomic per-worker
+// progress counter: worker b-1 release-stores "step s done" after all
+// its writes for s; worker b acquire-loads it before reading the block
+// boundary, which gives the race detector (and the memory model) the
+// happens-before edge. Cross-sweep ordering is sequenced through the
+// dispatch/collect channels on the coordinating goroutine.
+package thermal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type sweepKind uint8
+
+const (
+	sweepKindZ sweepKind = iota
+	sweepKindX
+	sweepKindY
+)
+
+// paddedCounter keeps each worker's pipeline counter on its own cache
+// line so neighbor spin-waits do not false-share.
+type paddedCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// sweepPool is a persistent worker pool bound to one solver. It is not
+// safe for concurrent sweeps; one sweep runs at a time, dispatched by
+// the solving goroutine.
+type sweepPool struct {
+	sv       *solver
+	workers  int
+	scratch  []*lineScratch
+	progress []paddedCounter
+	start    []chan sweepKind
+	done     []chan float64
+	quit     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newSweepPool(sv *solver, workers int) *sweepPool {
+	p := &sweepPool{
+		sv:       sv,
+		workers:  workers,
+		scratch:  make([]*lineScratch, workers),
+		progress: make([]paddedCounter, workers),
+		start:    make([]chan sweepKind, workers),
+		done:     make([]chan float64, workers),
+		quit:     make(chan struct{}),
+	}
+	for b := 0; b < workers; b++ {
+		p.scratch[b] = newLineScratch(sv.maxAxis)
+		p.start[b] = make(chan sweepKind)
+		p.done[b] = make(chan float64)
+	}
+	p.wg.Add(workers)
+	for b := 0; b < workers; b++ {
+		go p.worker(b)
+	}
+	return p
+}
+
+// close stops the workers and waits for them to exit. Must not be
+// called while a sweep is in flight.
+func (p *sweepPool) close() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+func (p *sweepPool) worker(b int) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case kind := <-p.start[b]:
+			p.done[b] <- p.run(b, kind)
+		}
+	}
+}
+
+// sweep runs one full sweep on the pool and returns the maximum
+// temperature change, reduced over workers in fixed order.
+func (p *sweepPool) sweep(kind sweepKind) float64 {
+	for b := range p.progress {
+		p.progress[b].n.Store(0)
+	}
+	for b := 0; b < p.workers; b++ {
+		p.start[b] <- kind
+	}
+	maxDelta := 0.0
+	for b := 0; b < p.workers; b++ {
+		if d := <-p.done[b]; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta
+}
+
+// cut returns the start of block i when n items are split across parts
+// contiguous blocks (the deterministic static partition).
+func cut(n, parts, i int) int { return i * n / parts }
+
+// await blocks worker b until worker b-1 has completed pipeline step
+// target-1 (i.e. its counter reached target). Worker 0 never waits.
+func (p *sweepPool) await(b int, target int64) {
+	if b == 0 {
+		return
+	}
+	c := &p.progress[b-1].n
+	for c.Load() < target {
+		runtime.Gosched()
+	}
+}
+
+// run executes worker b's share of one sweep. Even a worker with an
+// empty block walks the pipeline, so successors transitively observe
+// their predecessors' progress.
+func (p *sweepPool) run(b int, kind sweepKind) float64 {
+	sv, sc := p.sv, p.scratch[b]
+	maxDelta := 0.0
+	switch kind {
+	case sweepKindZ:
+		lo, hi := cut(sv.ny, p.workers, b), cut(sv.ny, p.workers, b+1)
+		for x := 0; x < sv.nx; x++ {
+			p.await(b, int64(x+1))
+			for y := lo; y < hi; y++ {
+				if d := sv.zColumn(sc, y, x); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			p.progress[b].n.Store(int64(x + 1))
+		}
+	case sweepKindX:
+		lo, hi := cut(sv.nz, p.workers, b), cut(sv.nz, p.workers, b+1)
+		for y := 0; y < sv.ny; y++ {
+			p.await(b, int64(y+1))
+			for z := lo; z < hi; z++ {
+				if d := sv.xLine(sc, z, y); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			p.progress[b].n.Store(int64(y + 1))
+		}
+	case sweepKindY:
+		lo, hi := cut(sv.nz, p.workers, b), cut(sv.nz, p.workers, b+1)
+		for x := 0; x < sv.nx; x++ {
+			p.await(b, int64(x+1))
+			for z := lo; z < hi; z++ {
+				if d := sv.yLine(sc, z, x); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			p.progress[b].n.Store(int64(x + 1))
+		}
+	}
+	return maxDelta
+}

@@ -2,7 +2,6 @@ package thermal
 
 import (
 	"context"
-	"errors"
 	"math"
 )
 
@@ -26,6 +25,14 @@ type SolveOptions struct {
 	// growth). Zero selects the default (2); negative disables recovery
 	// so a divergence fails immediately with ErrDiverged.
 	MaxRecoveries int
+	// Parallelism runs each sweep on this many pipelined workers
+	// (0 = serial, the default). The pipeline preserves the serial
+	// Gauss-Seidel dependency order, so the solved field is
+	// bit-identical to the serial solver at every setting — the knob
+	// trades CPU for wall clock, never accuracy. Negative values and
+	// values above MaxParallelism() are rejected with a
+	// *ParallelismError wrapping ErrBadParallelism.
+	Parallelism int
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -51,7 +58,9 @@ func (o SolveOptions) withDefaults() SolveOptions {
 // heat sink and board are resolved.
 const maxCellDZ = 1e-3
 
-// Field is a solved steady-state temperature distribution.
+// Field is a solved steady-state temperature distribution. It owns its
+// temperature array (copied out of the solver), so it stays valid after
+// the Workspace that produced it is reused or closed.
 type Field struct {
 	stack *Stack
 	// zOfLayer[i] lists the z-cell indices belonging to stack layer i.
@@ -66,7 +75,37 @@ type Field struct {
 	gTop, gBot []float64 // per lateral cell
 }
 
-// solver holds the discretized system during iteration.
+// lineScratch is the tridiagonal assembly/solve scratch for one line.
+// Each worker owns one, so lines can be solved concurrently.
+type lineScratch struct {
+	sub, diag, sup, rhs, cp, dp []float64
+}
+
+func newLineScratch(n int) *lineScratch {
+	return &lineScratch{
+		sub: make([]float64, n), diag: make([]float64, n), sup: make([]float64, n),
+		rhs: make([]float64, n), cp: make([]float64, n), dp: make([]float64, n),
+	}
+}
+
+// thomas solves the assembled tridiagonal system of length n into dp.
+func (sc *lineScratch) thomas(n int) {
+	sc.cp[0] = sc.sup[0] / sc.diag[0]
+	sc.dp[0] = sc.rhs[0] / sc.diag[0]
+	for i := 1; i < n; i++ {
+		m := sc.diag[i] - sc.sub[i]*sc.cp[i-1]
+		sc.cp[i] = sc.sup[i] / m
+		sc.dp[i] = (sc.rhs[i] - sc.sub[i]*sc.dp[i-1]) / m
+	}
+	for i := n - 2; i >= 0; i-- {
+		sc.dp[i] -= sc.cp[i] * sc.dp[i+1]
+	}
+}
+
+// solver holds the discretized system. The discretization (grid,
+// conductances, capacities) is built once by newSolver; the iteration
+// state (t, q, capOverDt, omega) is reinitialized by reset, so one
+// solver serves many solves, retries, and transient steps.
 type solver struct {
 	s          *Stack
 	omega      float64
@@ -75,15 +114,22 @@ type solver struct {
 	gxr        []float64 // lateral conductance cell -> x+1
 	gyu        []float64 // lateral conductance cell -> y+1
 	gTop, gBot []float64 // boundary conductance per lateral cell
-	q          []float64 // heat source per cell, W
+	baseQ      []float64 // rasterized heat source per cell, W
+	q          []float64 // working right-hand side (baseQ, or the implicit-Euler RHS)
 	t          []float64
+	tOld       []float64 // previous-step temperatures during transient stepping
 	// cellCap is each cell's heat capacity in J/K; capOverDt holds
 	// cellCap/dt during transient stepping (all zero for steady
 	// solves, where it drops out of the equations).
 	cellCap   []float64
 	capOverDt []float64
-	// Tridiagonal scratch sized to the longest axis.
-	sub, diag, sup, rhs, cp, dp []float64
+	sc        *lineScratch // serial-path scratch, sized to the longest axis
+	maxAxis   int
+
+	// z discretization retained so power maps can be re-rasterized on
+	// every reset (power mutations between solves are picked up).
+	zLayer   []int     // z-cell -> stack layer index
+	srcScale []float64 // per-z fraction of the layer's power map
 
 	zOfLayer   [][]int
 	totalPower float64
@@ -106,6 +152,9 @@ func (sv *solver) idx(z, y, x int) int { return (z*sv.ny+y)*sv.nx + x }
 // or sustained residual growth) is restarted with a damped relaxation
 // factor up to MaxRecoveries times before giving up with a
 // *ConvergenceError wrapping ErrDiverged.
+//
+// Each call discretizes the stack from scratch; callers solving the
+// same geometry repeatedly should keep a Workspace instead.
 func Solve(s *Stack, opt SolveOptions) (*Field, error) {
 	return SolveContext(context.Background(), s, opt)
 }
@@ -114,106 +163,12 @@ func Solve(s *Stack, opt SolveOptions) (*Field, error) {
 // checked between alternating-direction cycles, and ctx.Err() is
 // returned as soon as the context is done.
 func SolveContext(ctx context.Context, s *Stack, opt SolveOptions) (*Field, error) {
-	opt = opt.withDefaults()
-	omega := opt.Omega
-	for attempt := 0; ; attempt++ {
-		f, err := solveOnce(ctx, s, opt, omega, attempt)
-		var ce *ConvergenceError
-		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
-			omega = dampOmega(omega)
-			continue
-		}
-		return f, err
-	}
-}
-
-// solveOnce runs one solve attempt at the given relaxation factor.
-func solveOnce(ctx context.Context, s *Stack, opt SolveOptions, omega float64, recoveries int) (*Field, error) {
-	sv, err := newSolver(s, omega)
+	w, err := NewWorkspace(s)
 	if err != nil {
 		return nil, err
 	}
-
-	// Total boundary conductance, for the constant-mode correction.
-	gBoundary := 0.0
-	for i := range sv.gTop {
-		gBoundary += sv.gTop[i] + sv.gBot[i]
-	}
-
-	// Divergence watchdog state: the first cycle's delta anchors the
-	// growth test, and grow counts consecutive growing cycles.
-	var delta0 float64
-	prevDelta := math.Inf(1)
-	grow := 0
-	converged := false
-
-	cycles := 0
-	for ; cycles < opt.MaxCycles; cycles++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		d1 := sv.sweepZ()
-		d2 := sv.sweepX()
-		d3 := sv.sweepY()
-		maxDelta := math.Max(d1, math.Max(d2, d3))
-
-		// Deflate the constant mode: a uniform temperature shift leaves
-		// every interior balance unchanged but scales the boundary
-		// outflow, so the global energy imbalance can be zeroed exactly.
-		// Without this, the weakly-coupled boundary makes the overall
-		// temperature level converge arbitrarily slowly.
-		shift := (sv.totalPower - sv.heatOut()) / gBoundary
-		for i := range sv.t {
-			sv.t[i] += shift
-		}
-		if math.Abs(shift) > maxDelta {
-			maxDelta = math.Abs(shift)
-		}
-
-		if cycles == 0 {
-			delta0 = maxDelta
-		}
-		if maxDelta > prevDelta {
-			grow++
-		} else {
-			grow = 0
-		}
-		prevDelta = maxDelta
-		// Divergence: a non-finite update, an update far beyond any
-		// physical temperature, or sustained geometric growth well
-		// above the starting delta. Legitimate solves shrink deltas
-		// from cycle one.
-		if !isFinite(maxDelta) || maxDelta > 1e8 || (grow >= 25 && maxDelta > 100*delta0) {
-			return nil, &ConvergenceError{
-				Residual:   sv.relResidual(),
-				Sweeps:     cycles + 1,
-				Omega:      omega,
-				Recoveries: recoveries,
-				Diverged:   true,
-			}
-		}
-
-		if maxDelta < 1e-4 {
-			out := sv.heatOut()
-			if sv.totalPower == 0 || math.Abs(out-sv.totalPower) <= opt.Tolerance*math.Max(sv.totalPower, 1e-9) {
-				cycles++
-				converged = true
-				break
-			}
-		}
-	}
-
-	f := sv.field(cycles)
-	f.recoveries = recoveries
-	if !converged {
-		return f, &ConvergenceError{
-			Residual:   sv.relResidual(),
-			Sweeps:     cycles,
-			Omega:      omega,
-			Recoveries: recoveries,
-		}
-	}
-	return f, nil
+	defer w.Close()
+	return w.SolveContext(ctx, opt)
 }
 
 // isFinite reports whether x is neither NaN nor infinite.
@@ -230,16 +185,20 @@ func (sv *solver) relResidual() float64 {
 	return imbalance / sv.totalPower
 }
 
-// field packages the solver's current state.
+// field packages the solver's current state. The temperatures are
+// copied so the Field survives solver reuse.
 func (sv *solver) field(cycles int) *Field {
 	return &Field{
-		stack: sv.s, zOfLayer: sv.zOfLayer, nz: sv.nz, t: sv.t, sweeps: cycles,
-		gTop: sv.gTop, gBot: sv.gBot,
+		stack: sv.s, zOfLayer: sv.zOfLayer, nz: sv.nz,
+		t:      append([]float64(nil), sv.t...),
+		sweeps: cycles,
+		gTop:   sv.gTop, gBot: sv.gBot,
 	}
 }
 
 // newSolver discretizes the stack and precomputes all conductances.
-func newSolver(s *Stack, omega float64) (*solver, error) {
+// The result carries no iteration state yet; call reset before solving.
+func newSolver(s *Stack) (*solver, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,8 +228,10 @@ func newSolver(s *Stack, omega float64) (*solver, error) {
 	nz := len(dz)
 	cells := nz * ny * nx
 
-	sv := &solver{s: s, omega: omega, nx: nx, ny: ny, nz: nz}
+	sv := &solver{s: s, nx: nx, ny: ny, nz: nz}
 	sv.zOfLayer = zOfLayer
+	sv.zLayer = zLayer
+	sv.srcScale = srcScale
 	maxAxis := nz
 	if nx > maxAxis {
 		maxAxis = nx
@@ -278,12 +239,8 @@ func newSolver(s *Stack, omega float64) (*solver, error) {
 	if ny > maxAxis {
 		maxAxis = ny
 	}
-	sv.sub = make([]float64, maxAxis)
-	sv.diag = make([]float64, maxAxis)
-	sv.sup = make([]float64, maxAxis)
-	sv.rhs = make([]float64, maxAxis)
-	sv.cp = make([]float64, maxAxis)
-	sv.dp = make([]float64, maxAxis)
+	sv.maxAxis = maxAxis
+	sv.sc = newLineScratch(maxAxis)
 
 	// Per-cell conductivity honoring bounded layer extents. Boundary
 	// cells that partially overlap the extent get an area-weighted
@@ -353,37 +310,63 @@ func newSolver(s *Stack, omega float64) (*solver, error) {
 		}
 	}
 
-	// Per-cell heat sources in watts, and heat capacities in J/K.
-	sv.q = make([]float64, cells)
+	// Heat capacities in J/K per cell.
 	sv.cellCap = make([]float64, cells)
-	sv.capOverDt = make([]float64, cells)
 	cellArea := dx * dy
 	for z := 0; z < nz; z++ {
-		layer := s.Layers[zLayer[z]]
-		capPerCell := layer.Material.heatCapacity() * cellArea * dz[z]
+		capPerCell := s.Layers[zLayer[z]].Material.heatCapacity() * cellArea * dz[z]
 		for y := 0; y < ny; y++ {
 			for x := 0; x < nx; x++ {
 				sv.cellCap[sv.idx(z, y, x)] = capPerCell
 			}
 		}
-		pm := layer.Power
+	}
+
+	sv.baseQ = make([]float64, cells)
+	sv.q = make([]float64, cells)
+	sv.capOverDt = make([]float64, cells)
+	sv.t = make([]float64, cells)
+	sv.tOld = make([]float64, cells)
+	return sv, nil
+}
+
+// rasterize rebuilds the per-cell heat sources (W) from the stack's
+// current power maps. Called on every reset so power mutations between
+// solves on a reused workspace are honored.
+func (sv *solver) rasterize() {
+	for i := range sv.baseQ {
+		sv.baseQ[i] = 0
+	}
+	sv.totalPower = 0
+	for z := 0; z < sv.nz; z++ {
+		pm := sv.s.Layers[sv.zLayer[z]].Power
 		if pm == nil {
 			continue
 		}
-		for y := 0; y < ny; y++ {
-			for x := 0; x < nx; x++ {
-				w := pm.At(x, y) * srcScale[z]
-				sv.q[sv.idx(z, y, x)] = w
+		scale := sv.srcScale[z]
+		for y := 0; y < sv.ny; y++ {
+			for x := 0; x < sv.nx; x++ {
+				w := pm.At(x, y) * scale
+				sv.baseQ[sv.idx(z, y, x)] = w
 				sv.totalPower += w
 			}
 		}
 	}
+}
 
-	sv.t = make([]float64, cells)
+// reset reinitializes the iteration state for a fresh solve attempt:
+// ambient temperatures, steady sources, no capacity term.
+func (sv *solver) reset(omega float64) {
+	sv.omega = omega
+	sv.rasterize()
+	copy(sv.q, sv.baseQ)
+	amb := sv.s.AmbientC
 	for i := range sv.t {
-		sv.t[i] = s.AmbientC
+		sv.t[i] = amb
 	}
-	return sv, nil
+	for i := range sv.capOverDt {
+		sv.capOverDt[i] = 0
+	}
 }
 
 // heatOut integrates convective outflow at both boundary faces.
@@ -403,82 +386,213 @@ func (sv *solver) heatOut() float64 {
 	return total
 }
 
-// thomas solves the assembled tridiagonal system of length n into dp.
-func (sv *solver) thomas(n int) {
-	sv.cp[0] = sv.sup[0] / sv.diag[0]
-	sv.dp[0] = sv.rhs[0] / sv.diag[0]
-	for i := 1; i < n; i++ {
-		m := sv.diag[i] - sv.sub[i]*sv.cp[i-1]
-		sv.cp[i] = sv.sup[i] / m
-		sv.dp[i] = (sv.rhs[i] - sv.sub[i]*sv.dp[i-1]) / m
+// zColumn assembles and solves the vertical column at (y, x), lateral
+// neighbors fixed, and writes the over-relaxed update back. It returns
+// the column's largest temperature change.
+func (sv *solver) zColumn(sc *lineScratch, y, x int) float64 {
+	nx, ny, nz := sv.nx, sv.ny, sv.nz
+	amb := sv.s.AmbientC
+	for z := 0; z < nz; z++ {
+		i := sv.idx(z, y, x)
+		d := sv.capOverDt[i]
+		r := sv.q[i]
+		if z > 0 {
+			g := sv.gv[sv.idx(z-1, y, x)]
+			sc.sub[z] = -g
+			d += g
+		} else {
+			sc.sub[z] = 0
+			g := sv.gTop[y*nx+x]
+			d += g
+			r += g * amb
+		}
+		if z < nz-1 {
+			g := sv.gv[i]
+			sc.sup[z] = -g
+			d += g
+		} else {
+			sc.sup[z] = 0
+			g := sv.gBot[y*nx+x]
+			d += g
+			r += g * amb
+		}
+		if x > 0 {
+			g := sv.gxr[sv.idx(z, y, x-1)]
+			d += g
+			r += g * sv.t[sv.idx(z, y, x-1)]
+		}
+		if x < nx-1 {
+			g := sv.gxr[i]
+			d += g
+			r += g * sv.t[sv.idx(z, y, x+1)]
+		}
+		if y > 0 {
+			g := sv.gyu[sv.idx(z, y-1, x)]
+			d += g
+			r += g * sv.t[sv.idx(z, y-1, x)]
+		}
+		if y < ny-1 {
+			g := sv.gyu[i]
+			d += g
+			r += g * sv.t[sv.idx(z, y+1, x)]
+		}
+		sc.diag[z] = d
+		sc.rhs[z] = r
 	}
-	for i := n - 2; i >= 0; i-- {
-		sv.dp[i] -= sv.cp[i] * sv.dp[i+1]
+	sc.thomas(nz)
+	md := 0.0
+	for z := 0; z < nz; z++ {
+		i := sv.idx(z, y, x)
+		nv := sv.t[i] + sv.omega*(sc.dp[z]-sv.t[i])
+		if dlt := math.Abs(nv - sv.t[i]); dlt > md {
+			md = dlt
+		}
+		sv.t[i] = nv
 	}
+	return md
+}
+
+// xLine assembles and solves the x-line at (z, y), other neighbors
+// fixed, and writes the over-relaxed update back.
+func (sv *solver) xLine(sc *lineScratch, z, y int) float64 {
+	nx, ny, nz := sv.nx, sv.ny, sv.nz
+	amb := sv.s.AmbientC
+	for x := 0; x < nx; x++ {
+		i := sv.idx(z, y, x)
+		d := sv.capOverDt[i]
+		r := sv.q[i]
+		if x > 0 {
+			g := sv.gxr[sv.idx(z, y, x-1)]
+			sc.sub[x] = -g
+			d += g
+		} else {
+			sc.sub[x] = 0
+		}
+		if x < nx-1 {
+			g := sv.gxr[i]
+			sc.sup[x] = -g
+			d += g
+		} else {
+			sc.sup[x] = 0
+		}
+		if z > 0 {
+			g := sv.gv[sv.idx(z-1, y, x)]
+			d += g
+			r += g * sv.t[sv.idx(z-1, y, x)]
+		} else {
+			g := sv.gTop[y*nx+x]
+			d += g
+			r += g * amb
+		}
+		if z < nz-1 {
+			g := sv.gv[i]
+			d += g
+			r += g * sv.t[sv.idx(z+1, y, x)]
+		} else {
+			g := sv.gBot[y*nx+x]
+			d += g
+			r += g * amb
+		}
+		if y > 0 {
+			g := sv.gyu[sv.idx(z, y-1, x)]
+			d += g
+			r += g * sv.t[sv.idx(z, y-1, x)]
+		}
+		if y < ny-1 {
+			g := sv.gyu[i]
+			d += g
+			r += g * sv.t[sv.idx(z, y+1, x)]
+		}
+		sc.diag[x] = d
+		sc.rhs[x] = r
+	}
+	sc.thomas(nx)
+	md := 0.0
+	for x := 0; x < nx; x++ {
+		i := sv.idx(z, y, x)
+		nv := sv.t[i] + sv.omega*(sc.dp[x]-sv.t[i])
+		if dlt := math.Abs(nv - sv.t[i]); dlt > md {
+			md = dlt
+		}
+		sv.t[i] = nv
+	}
+	return md
+}
+
+// yLine assembles and solves the y-line at (z, x), other neighbors
+// fixed, and writes the over-relaxed update back.
+func (sv *solver) yLine(sc *lineScratch, z, x int) float64 {
+	nx, ny, nz := sv.nx, sv.ny, sv.nz
+	amb := sv.s.AmbientC
+	for y := 0; y < ny; y++ {
+		i := sv.idx(z, y, x)
+		d := sv.capOverDt[i]
+		r := sv.q[i]
+		if y > 0 {
+			g := sv.gyu[sv.idx(z, y-1, x)]
+			sc.sub[y] = -g
+			d += g
+		} else {
+			sc.sub[y] = 0
+		}
+		if y < ny-1 {
+			g := sv.gyu[i]
+			sc.sup[y] = -g
+			d += g
+		} else {
+			sc.sup[y] = 0
+		}
+		if z > 0 {
+			g := sv.gv[sv.idx(z-1, y, x)]
+			d += g
+			r += g * sv.t[sv.idx(z-1, y, x)]
+		} else {
+			g := sv.gTop[y*nx+x]
+			d += g
+			r += g * amb
+		}
+		if z < nz-1 {
+			g := sv.gv[i]
+			d += g
+			r += g * sv.t[sv.idx(z+1, y, x)]
+		} else {
+			g := sv.gBot[y*nx+x]
+			d += g
+			r += g * amb
+		}
+		if x > 0 {
+			g := sv.gxr[sv.idx(z, y, x-1)]
+			d += g
+			r += g * sv.t[sv.idx(z, y, x-1)]
+		}
+		if x < nx-1 {
+			g := sv.gxr[i]
+			d += g
+			r += g * sv.t[sv.idx(z, y, x+1)]
+		}
+		sc.diag[y] = d
+		sc.rhs[y] = r
+	}
+	sc.thomas(ny)
+	md := 0.0
+	for y := 0; y < ny; y++ {
+		i := sv.idx(z, y, x)
+		nv := sv.t[i] + sv.omega*(sc.dp[y]-sv.t[i])
+		if dlt := math.Abs(nv - sv.t[i]); dlt > md {
+			md = dlt
+		}
+		sv.t[i] = nv
+	}
+	return md
 }
 
 // sweepZ solves each vertical column exactly, lateral neighbors fixed.
 func (sv *solver) sweepZ() float64 {
-	nx, ny, nz := sv.nx, sv.ny, sv.nz
-	amb := sv.s.AmbientC
 	maxDelta := 0.0
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
-			for z := 0; z < nz; z++ {
-				i := sv.idx(z, y, x)
-				d := sv.capOverDt[i]
-				r := sv.q[i]
-				if z > 0 {
-					g := sv.gv[sv.idx(z-1, y, x)]
-					sv.sub[z] = -g
-					d += g
-				} else {
-					sv.sub[z] = 0
-					g := sv.gTop[y*nx+x]
-					d += g
-					r += g * amb
-				}
-				if z < nz-1 {
-					g := sv.gv[i]
-					sv.sup[z] = -g
-					d += g
-				} else {
-					sv.sup[z] = 0
-					g := sv.gBot[y*nx+x]
-					d += g
-					r += g * amb
-				}
-				if x > 0 {
-					g := sv.gxr[sv.idx(z, y, x-1)]
-					d += g
-					r += g * sv.t[sv.idx(z, y, x-1)]
-				}
-				if x < nx-1 {
-					g := sv.gxr[i]
-					d += g
-					r += g * sv.t[sv.idx(z, y, x+1)]
-				}
-				if y > 0 {
-					g := sv.gyu[sv.idx(z, y-1, x)]
-					d += g
-					r += g * sv.t[sv.idx(z, y-1, x)]
-				}
-				if y < ny-1 {
-					g := sv.gyu[i]
-					d += g
-					r += g * sv.t[sv.idx(z, y+1, x)]
-				}
-				sv.diag[z] = d
-				sv.rhs[z] = r
-			}
-			sv.thomas(nz)
-			for z := 0; z < nz; z++ {
-				i := sv.idx(z, y, x)
-				nv := sv.t[i] + sv.omega*(sv.dp[z]-sv.t[i])
-				if dlt := math.Abs(nv - sv.t[i]); dlt > maxDelta {
-					maxDelta = dlt
-				}
-				sv.t[i] = nv
+	for y := 0; y < sv.ny; y++ {
+		for x := 0; x < sv.nx; x++ {
+			if d := sv.zColumn(sv.sc, y, x); d > maxDelta {
+				maxDelta = d
 			}
 		}
 	}
@@ -487,68 +601,11 @@ func (sv *solver) sweepZ() float64 {
 
 // sweepX solves each x-line exactly, other neighbors fixed.
 func (sv *solver) sweepX() float64 {
-	nx, ny, nz := sv.nx, sv.ny, sv.nz
-	amb := sv.s.AmbientC
 	maxDelta := 0.0
-	for z := 0; z < nz; z++ {
-		for y := 0; y < ny; y++ {
-			for x := 0; x < nx; x++ {
-				i := sv.idx(z, y, x)
-				d := sv.capOverDt[i]
-				r := sv.q[i]
-				if x > 0 {
-					g := sv.gxr[sv.idx(z, y, x-1)]
-					sv.sub[x] = -g
-					d += g
-				} else {
-					sv.sub[x] = 0
-				}
-				if x < nx-1 {
-					g := sv.gxr[i]
-					sv.sup[x] = -g
-					d += g
-				} else {
-					sv.sup[x] = 0
-				}
-				if z > 0 {
-					g := sv.gv[sv.idx(z-1, y, x)]
-					d += g
-					r += g * sv.t[sv.idx(z-1, y, x)]
-				} else {
-					g := sv.gTop[y*nx+x]
-					d += g
-					r += g * amb
-				}
-				if z < nz-1 {
-					g := sv.gv[i]
-					d += g
-					r += g * sv.t[sv.idx(z+1, y, x)]
-				} else {
-					g := sv.gBot[y*nx+x]
-					d += g
-					r += g * amb
-				}
-				if y > 0 {
-					g := sv.gyu[sv.idx(z, y-1, x)]
-					d += g
-					r += g * sv.t[sv.idx(z, y-1, x)]
-				}
-				if y < ny-1 {
-					g := sv.gyu[i]
-					d += g
-					r += g * sv.t[sv.idx(z, y+1, x)]
-				}
-				sv.diag[x] = d
-				sv.rhs[x] = r
-			}
-			sv.thomas(nx)
-			for x := 0; x < nx; x++ {
-				i := sv.idx(z, y, x)
-				nv := sv.t[i] + sv.omega*(sv.dp[x]-sv.t[i])
-				if dlt := math.Abs(nv - sv.t[i]); dlt > maxDelta {
-					maxDelta = dlt
-				}
-				sv.t[i] = nv
+	for z := 0; z < sv.nz; z++ {
+		for y := 0; y < sv.ny; y++ {
+			if d := sv.xLine(sv.sc, z, y); d > maxDelta {
+				maxDelta = d
 			}
 		}
 	}
@@ -557,68 +614,11 @@ func (sv *solver) sweepX() float64 {
 
 // sweepY solves each y-line exactly, other neighbors fixed.
 func (sv *solver) sweepY() float64 {
-	nx, ny, nz := sv.nx, sv.ny, sv.nz
-	amb := sv.s.AmbientC
 	maxDelta := 0.0
-	for z := 0; z < nz; z++ {
-		for x := 0; x < nx; x++ {
-			for y := 0; y < ny; y++ {
-				i := sv.idx(z, y, x)
-				d := sv.capOverDt[i]
-				r := sv.q[i]
-				if y > 0 {
-					g := sv.gyu[sv.idx(z, y-1, x)]
-					sv.sub[y] = -g
-					d += g
-				} else {
-					sv.sub[y] = 0
-				}
-				if y < ny-1 {
-					g := sv.gyu[i]
-					sv.sup[y] = -g
-					d += g
-				} else {
-					sv.sup[y] = 0
-				}
-				if z > 0 {
-					g := sv.gv[sv.idx(z-1, y, x)]
-					d += g
-					r += g * sv.t[sv.idx(z-1, y, x)]
-				} else {
-					g := sv.gTop[y*nx+x]
-					d += g
-					r += g * amb
-				}
-				if z < nz-1 {
-					g := sv.gv[i]
-					d += g
-					r += g * sv.t[sv.idx(z+1, y, x)]
-				} else {
-					g := sv.gBot[y*nx+x]
-					d += g
-					r += g * amb
-				}
-				if x > 0 {
-					g := sv.gxr[sv.idx(z, y, x-1)]
-					d += g
-					r += g * sv.t[sv.idx(z, y, x-1)]
-				}
-				if x < nx-1 {
-					g := sv.gxr[i]
-					d += g
-					r += g * sv.t[sv.idx(z, y, x+1)]
-				}
-				sv.diag[y] = d
-				sv.rhs[y] = r
-			}
-			sv.thomas(ny)
-			for y := 0; y < ny; y++ {
-				i := sv.idx(z, y, x)
-				nv := sv.t[i] + sv.omega*(sv.dp[y]-sv.t[i])
-				if dlt := math.Abs(nv - sv.t[i]); dlt > maxDelta {
-					maxDelta = dlt
-				}
-				sv.t[i] = nv
+	for z := 0; z < sv.nz; z++ {
+		for x := 0; x < sv.nx; x++ {
+			if d := sv.yLine(sv.sc, z, x); d > maxDelta {
+				maxDelta = d
 			}
 		}
 	}

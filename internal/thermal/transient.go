@@ -30,6 +30,10 @@ type TransientOptions struct {
 	// time step (and doubled step count, preserving the horizon).
 	// Zero selects the default (2); negative disables recovery.
 	MaxRecoveries int
+	// Parallelism runs the inner sweeps on this many pipelined workers
+	// (0 = serial, the default), with the same bit-identical-to-serial
+	// guarantee and validation as SolveOptions.Parallelism.
+	Parallelism int
 	// PowerScale, when non-nil, is consulted before every step with
 	// the current simulated time and the previous step's peak
 	// temperature, and returns a multiplier applied to all power maps
@@ -101,6 +105,24 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 // MaxRecoveries times before giving up with a *ConvergenceError
 // wrapping ErrDiverged.
 func SolveTransientContext(ctx context.Context, s *Stack, opt TransientOptions) (*TransientResult, error) {
+	w, err := NewWorkspace(s)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	return w.SolveTransientContext(ctx, opt)
+}
+
+// SolveTransient is SolveTransient on the reused workspace.
+func (w *Workspace) SolveTransient(opt TransientOptions) (*TransientResult, error) {
+	return w.SolveTransientContext(context.Background(), opt)
+}
+
+// SolveTransientContext integrates the transient response, reusing the
+// workspace's discretization and worker pool across every time step
+// and recovery attempt. Semantics match the package-level
+// SolveTransientContext.
+func (w *Workspace) SolveTransientContext(ctx context.Context, opt TransientOptions) (*TransientResult, error) {
 	if opt.Dt <= 0 || opt.Steps <= 0 {
 		return nil, fmt.Errorf("thermal: transient needs positive Dt and Steps, got %g/%d", opt.Dt, opt.Steps)
 	}
@@ -108,11 +130,16 @@ func SolveTransientContext(ctx context.Context, s *Stack, opt TransientOptions) 
 	if opt.Omega <= 0 || opt.Omega >= 2 {
 		return nil, fmt.Errorf("thermal: omega %g out of (0,2)", opt.Omega)
 	}
+	workers, err := checkParallelism(opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	pool := w.poolFor(workers)
 
 	omega := opt.Omega
 	dt, steps := opt.Dt, opt.Steps
 	for attempt := 0; ; attempt++ {
-		res, err := transientOnce(ctx, s, opt, omega, dt, steps, attempt)
+		res, err := w.transientOnce(ctx, opt, pool, omega, dt, steps, attempt)
 		var ce *ConvergenceError
 		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
 			omega = dampOmega(omega)
@@ -129,22 +156,19 @@ func SolveTransientContext(ctx context.Context, s *Stack, opt TransientOptions) 
 }
 
 // transientOnce runs one integration attempt.
-func transientOnce(ctx context.Context, s *Stack, opt TransientOptions, omega, dt float64, steps, recoveries int) (*TransientResult, error) {
-	sv, err := newSolver(s, omega)
-	if err != nil {
-		return nil, err
-	}
+func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, pool *sweepPool, omega, dt float64, steps, recoveries int) (*TransientResult, error) {
+	sv := w.sv
+	sv.reset(omega)
 	if opt.InitialC != 0 {
 		for i := range sv.t {
 			sv.t[i] = opt.InitialC
 		}
 	}
 
-	baseQ := append([]float64(nil), sv.q...)
 	for i := range sv.capOverDt {
 		sv.capOverDt[i] = sv.cellCap[i] / dt
 	}
-	tOld := append([]float64(nil), sv.t...)
+	copy(sv.tOld, sv.t)
 
 	res := &TransientResult{
 		Times:      make([]float64, 0, steps),
@@ -172,16 +196,13 @@ func transientOnce(ctx context.Context, s *Stack, opt TransientOptions, omega, d
 			}
 		}
 		// Implicit Euler right-hand side: q·scale + (C/dt)·T_old.
-		copy(tOld, sv.t)
+		copy(sv.tOld, sv.t)
 		for i := range sv.q {
-			sv.q[i] = baseQ[i]*scale + sv.capOverDt[i]*tOld[i]
+			sv.q[i] = sv.baseQ[i]*scale + sv.capOverDt[i]*sv.tOld[i]
 		}
 		lastDelta := 0.0
 		for c := 0; c < opt.InnerCycles; c++ {
-			d1 := sv.sweepZ()
-			d2 := sv.sweepX()
-			d3 := sv.sweepY()
-			lastDelta = math.Max(d1, math.Max(d2, d3))
+			lastDelta = w.cycle(pool)
 			if lastDelta < 1e-6 {
 				break
 			}
@@ -193,7 +214,7 @@ func transientOnce(ctx context.Context, s *Stack, opt TransientOptions, omega, d
 			if v > peak {
 				peak = v
 			}
-			stored += sv.cellCap[i] * (v - s.AmbientC)
+			stored += sv.cellCap[i] * (v - sv.s.AmbientC)
 		}
 		// Divergence: a non-finite inner update or temperature means
 		// the step polluted the field; the caller restarts damped.
@@ -213,7 +234,7 @@ func transientOnce(ctx context.Context, s *Stack, opt TransientOptions, omega, d
 	}
 
 	// Restore the steady sources so Final.HeatOut reflects real flux.
-	copy(sv.q, baseQ)
+	copy(sv.q, sv.baseQ)
 	for i := range sv.capOverDt {
 		sv.capOverDt[i] = 0
 	}

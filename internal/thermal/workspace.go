@@ -1,0 +1,188 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"math"
+)
+
+// Workspace holds a discretized stack and its worker pool so repeated
+// solves — divergence-recovery retries, transient time steps, DTM
+// sample loops, sensitivity sweeps over the same geometry — skip
+// re-discretization and re-allocation. Power map mutations between
+// solves are picked up (sources are re-rasterized per solve); geometry
+// or material mutations are not — build a new Workspace for those.
+//
+// A Workspace is not safe for concurrent use, and the Fields it
+// returns own their data, so they remain valid after further solves or
+// Close. Close releases the worker pool; it is required only when a
+// solve ran with Parallelism > 0 (it is a no-op otherwise) but is
+// always safe to defer.
+type Workspace struct {
+	sv   *solver
+	pool *sweepPool
+}
+
+// NewWorkspace validates and discretizes the stack once, for many
+// solves.
+func NewWorkspace(s *Stack) (*Workspace, error) {
+	sv, err := newSolver(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Workspace{sv: sv}, nil
+}
+
+// Close stops the worker pool, if one was started. The Workspace must
+// not be used afterwards. Close is idempotent.
+func (w *Workspace) Close() {
+	if w.pool != nil {
+		w.pool.close()
+		w.pool = nil
+	}
+}
+
+// poolFor returns the sweep pool for the requested (validated) worker
+// count, or nil for the serial path. The pool persists across solves
+// and is rebuilt only when the worker count changes.
+func (w *Workspace) poolFor(workers int) *sweepPool {
+	if workers <= 0 {
+		return nil
+	}
+	if w.pool != nil && w.pool.workers != workers {
+		w.pool.close()
+		w.pool = nil
+	}
+	if w.pool == nil {
+		w.pool = newSweepPool(w.sv, workers)
+	}
+	return w.pool
+}
+
+// cycle runs one alternating-direction cycle (z, x, y sweeps) and
+// returns the largest temperature change, on the pool when non-nil.
+func (w *Workspace) cycle(pool *sweepPool) float64 {
+	var d1, d2, d3 float64
+	if pool != nil {
+		d1 = pool.sweep(sweepKindZ)
+		d2 = pool.sweep(sweepKindX)
+		d3 = pool.sweep(sweepKindY)
+	} else {
+		d1 = w.sv.sweepZ()
+		d2 = w.sv.sweepX()
+		d3 = w.sv.sweepY()
+	}
+	return math.Max(d1, math.Max(d2, d3))
+}
+
+// Solve is Solve on the reused workspace.
+func (w *Workspace) Solve(opt SolveOptions) (*Field, error) {
+	return w.SolveContext(context.Background(), opt)
+}
+
+// SolveContext computes the steady-state field, reusing the
+// workspace's discretization and worker pool. Semantics match the
+// package-level SolveContext.
+func (w *Workspace) SolveContext(ctx context.Context, opt SolveOptions) (*Field, error) {
+	opt = opt.withDefaults()
+	workers, err := checkParallelism(opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	pool := w.poolFor(workers)
+	omega := opt.Omega
+	for attempt := 0; ; attempt++ {
+		f, err := w.solveOnce(ctx, opt, pool, omega, attempt)
+		var ce *ConvergenceError
+		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
+			omega = dampOmega(omega)
+			continue
+		}
+		return f, err
+	}
+}
+
+// solveOnce runs one steady solve attempt at the given relaxation
+// factor.
+func (w *Workspace) solveOnce(ctx context.Context, opt SolveOptions, pool *sweepPool, omega float64, recoveries int) (*Field, error) {
+	sv := w.sv
+	sv.reset(omega)
+
+	// Total boundary conductance, for the constant-mode correction.
+	gBoundary := 0.0
+	for i := range sv.gTop {
+		gBoundary += sv.gTop[i] + sv.gBot[i]
+	}
+
+	// Divergence watchdog state: the first cycle's delta anchors the
+	// growth test, and grow counts consecutive growing cycles.
+	var delta0 float64
+	prevDelta := math.Inf(1)
+	grow := 0
+	converged := false
+
+	cycles := 0
+	for ; cycles < opt.MaxCycles; cycles++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		maxDelta := w.cycle(pool)
+
+		// Deflate the constant mode: a uniform temperature shift leaves
+		// every interior balance unchanged but scales the boundary
+		// outflow, so the global energy imbalance can be zeroed exactly.
+		// Without this, the weakly-coupled boundary makes the overall
+		// temperature level converge arbitrarily slowly.
+		shift := (sv.totalPower - sv.heatOut()) / gBoundary
+		for i := range sv.t {
+			sv.t[i] += shift
+		}
+		if math.Abs(shift) > maxDelta {
+			maxDelta = math.Abs(shift)
+		}
+
+		if cycles == 0 {
+			delta0 = maxDelta
+		}
+		if maxDelta > prevDelta {
+			grow++
+		} else {
+			grow = 0
+		}
+		prevDelta = maxDelta
+		// Divergence: a non-finite update, an update far beyond any
+		// physical temperature, or sustained geometric growth well
+		// above the starting delta. Legitimate solves shrink deltas
+		// from cycle one.
+		if !isFinite(maxDelta) || maxDelta > 1e8 || (grow >= 25 && maxDelta > 100*delta0) {
+			return nil, &ConvergenceError{
+				Residual:   sv.relResidual(),
+				Sweeps:     cycles + 1,
+				Omega:      omega,
+				Recoveries: recoveries,
+				Diverged:   true,
+			}
+		}
+
+		if maxDelta < 1e-4 {
+			out := sv.heatOut()
+			if sv.totalPower == 0 || math.Abs(out-sv.totalPower) <= opt.Tolerance*math.Max(sv.totalPower, 1e-9) {
+				cycles++
+				converged = true
+				break
+			}
+		}
+	}
+
+	f := sv.field(cycles)
+	f.recoveries = recoveries
+	if !converged {
+		return f, &ConvergenceError{
+			Residual:   sv.relResidual(),
+			Sweeps:     cycles,
+			Omega:      omega,
+			Recoveries: recoveries,
+		}
+	}
+	return f, nil
+}

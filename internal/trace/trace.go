@@ -125,9 +125,18 @@ func Collect(s Stream, max int) ([]Record, error) {
 }
 
 // CollectContext is Collect with cooperative cancellation, checked
-// every few thousand records.
+// every few thousand records. The result slice is sized up front when
+// the record count is knowable — from max, or from the stream itself
+// when it exposes Len() — so collection does not re-grow.
 func CollectContext(ctx context.Context, s Stream, max int) ([]Record, error) {
-	var out []Record
+	hint := 0
+	if l, ok := s.(interface{ Len() int }); ok {
+		hint = l.Len()
+	}
+	if max > 0 && (hint == 0 || max < hint) {
+		hint = max
+	}
+	out := make([]Record, 0, hint)
 	for {
 		if max > 0 && len(out) >= max {
 			return out, nil
@@ -276,6 +285,10 @@ func (tw *Writer) Flush() error {
 type Reader struct {
 	r      *bufio.Reader
 	header bool
+	// buf is the record decode scratch. Keeping it on the struct (rather
+	// than a local) stops it escaping to a fresh heap allocation per
+	// record: io.ReadFull's interface call pins a stack local otherwise.
+	buf [recSize]byte
 }
 
 // NewReader returns a Reader over r.
@@ -301,7 +314,7 @@ func (tr *Reader) Next() (Record, error) {
 		}
 		tr.header = true
 	}
-	var buf [recSize]byte
+	buf := &tr.buf
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF

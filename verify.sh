@@ -13,6 +13,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== benchmark smoke =="
+# One iteration of every internal benchmark: catches benchmarks that
+# no longer compile or crash without paying for stable timings. The
+# root-package figure benchmarks replay paper-scale workloads and are
+# exercised by tests already, so the smoke stays inside internal/.
+go test -run '^$' -bench . -benchtime 1x ./internal/... >/dev/null
+
 echo "== supervised campaign smoke =="
 # A small supervised sweep: every job must finish OK and the manifest
 # must be written, exercising the harness end to end from the CLI.
