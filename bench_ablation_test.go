@@ -7,6 +7,7 @@
 package diestack_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func runDRAMCacheCPMA(b *testing.B, recs []trace.Record, cfgMod func(*memhier.Co
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := sim.Run(trace.NewSliceStream(recs), 0)
+	res, err := sim.Run(context.Background(), trace.NewSliceStream(recs), memhier.RunOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -263,7 +264,9 @@ func coreFigure6Peak(grid int) (float64, error) {
 }
 
 // figure6 delegates to the core package's Figure 6 solver.
-var figure6 = core.Figure6Maps
+var figure6 = func(grid int) ([][]float64, [][]float64, error) {
+	return core.Figure6Maps(context.Background(), core.RunSpec{Grid: grid})
+}
 
 var _ = thermal.AmbientC // anchor the thermal import for readability
 

@@ -6,6 +6,7 @@
 package diestack_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -44,11 +45,11 @@ func BenchmarkExtensionTransientWarmup(b *testing.B) {
 		thermal.LogicDie(cpu), thermal.DRAMDie(mem),
 		thermal.StackOptions{Nx: grid, Ny: grid})
 	for i := 0; i < b.N; i++ {
-		steady, err := thermal.Solve(stack, thermal.SolveOptions{})
+		steady, err := thermal.Solve(context.Background(), stack, thermal.SolveOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		tr, err := thermal.SolveTransient(stack, thermal.TransientOptions{Dt: 1, Steps: 150})
+		tr, err := thermal.SolveTransient(context.Background(), stack, thermal.TransientOptions{Dt: 1, Steps: 150})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package diestack_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -69,11 +70,11 @@ func BenchmarkTable3MachineParameters(b *testing.B) {
 // sensitivity curves (Figure 3).
 func BenchmarkFigure3ThermalSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cu, err := core.RunFigure3(core.SweepCuMetal, nil, 48)
+		cu, err := core.RunFigure3(context.Background(), core.RunSpec{Grid: 48}, core.SweepCuMetal, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		bond, err := core.RunFigure3(core.SweepBond, nil, 48)
+		bond, err := core.RunFigure3(context.Background(), core.RunSpec{Grid: 48}, core.SweepBond, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkFigure3ThermalSensitivity(b *testing.B) {
 // (Figure 5), at reference workload scale.
 func BenchmarkFigure5MemoryStacking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunFigure5(1, 1.0)
+		res, err := core.RunFigure5(context.Background(), core.RunSpec{Seed: 1, Scale: 1.0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkFigure5MemoryStacking(b *testing.B) {
 // temperature maps (Figure 6).
 func BenchmarkFigure6BaselineThermal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pd, tm, err := core.Figure6Maps(64)
+		pd, tm, err := core.Figure6Maps(context.Background(), core.RunSpec{Grid: 64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func BenchmarkFigure8StackThermal(b *testing.B) {
 		core.Stacked32MB: 88.43, core.Stacked64MB: 90.27,
 	}
 	for i := 0; i < b.N; i++ {
-		rows, err := core.RunFigure8(64)
+		rows, err := core.RunFigure8(context.Background(), core.RunSpec{Grid: 64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func BenchmarkFigure11LogicThermal(b *testing.B) {
 		core.LogicPlanar: 98.6, core.Logic3D: 112.5, core.Logic3DWorst: 124.75,
 	}
 	for i := 0; i < b.N; i++ {
-		rows, err := core.RunFigure11(64)
+		rows, err := core.RunFigure11(context.Background(), core.RunSpec{Grid: 64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +289,7 @@ func BenchmarkHierarchySimulator(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.Run(sliceStream(recs), 0); err != nil {
+		if _, err := sim.Run(context.Background(), sliceStream(recs), memhier.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

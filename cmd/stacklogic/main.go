@@ -20,25 +20,25 @@ import (
 
 	"diestack/internal/core"
 	"diestack/internal/harness"
-	"diestack/internal/prof"
-	"diestack/internal/thermal"
 )
+
+// cli holds the shared flag group (-parallel, profiling, -metrics-out,
+// -progress); fatal needs it to flush metrics on error exits.
+var cli *core.CLIFlags
 
 func main() {
 	var (
-		t4Only     = flag.Bool("table4", false, "print Table 4 only")
-		t5Only     = flag.Bool("table5", false, "print Table 5 only")
-		thermOnly  = flag.Bool("thermal", false, "print Figure 11 only")
-		autoOnly   = flag.Bool("autofold", false, "run the automatic fold and compare with the hand fold")
-		insts      = flag.Int("n", 200_000, "instructions per workload profile")
-		seed       = flag.Uint64("seed", 1, "workload generation seed")
-		grid       = flag.Int("grid", 0, "thermal grid resolution (0 = default 64)")
-		timeout    = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
-		jobs       = flag.Int("jobs", 1, "solve the Figure 11 bars on this many parallel workers")
-		parallel   = flag.Int("parallel", 0, "thermal solver workers per solve (0 = serial)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		t4Only    = flag.Bool("table4", false, "print Table 4 only")
+		t5Only    = flag.Bool("table5", false, "print Table 5 only")
+		thermOnly = flag.Bool("thermal", false, "print Figure 11 only")
+		autoOnly  = flag.Bool("autofold", false, "run the automatic fold and compare with the hand fold")
+		insts     = flag.Int("n", 200_000, "instructions per workload profile")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		grid      = flag.Int("grid", 0, "thermal grid resolution (0 = default 64)")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+		jobs      = flag.Int("jobs", 1, "solve the Figure 11 bars on this many parallel workers")
 	)
+	cli = core.RegisterCLIFlags(flag.CommandLine, true)
 	flag.Parse()
 
 	if *insts <= 0 {
@@ -50,13 +50,10 @@ func main() {
 	if *jobs <= 0 {
 		fatal(fmt.Errorf("-jobs must be positive, got %d", *jobs))
 	}
-	if *parallel < 0 || *parallel > thermal.MaxParallelism() {
-		fatal(fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), *parallel))
-	}
-	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+	if err := cli.Start(); err != nil {
 		fatal(err)
 	}
-	defer prof.Stop()
+	defer cli.Stop()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -65,6 +62,7 @@ func main() {
 		defer cancel()
 	}
 
+	spec := core.RunSpec{Seed: *seed, Grid: *grid, Parallelism: cli.Parallel, Obs: cli.Obs()}
 	if *autoOnly {
 		if err := printAutoFold(*grid); err != nil {
 			fatal(err)
@@ -79,7 +77,7 @@ func main() {
 	}
 	if *thermOnly || all {
 		fmt.Println()
-		if err := printFigure11(ctx, *grid, *jobs, *parallel); err != nil {
+		if err := printFigure11(ctx, spec, *jobs); err != nil {
 			fatal(err)
 		}
 	}
@@ -92,7 +90,9 @@ func main() {
 }
 
 func fatal(err error) {
-	prof.Stop()
+	if cli != nil {
+		cli.Stop()
+	}
 	fmt.Fprintln(os.Stderr, "stacklogic:", err)
 	os.Exit(1)
 }
@@ -136,13 +136,13 @@ func printTable4(seed uint64, n int) error {
 	return nil
 }
 
-func printFigure11(ctx context.Context, grid, jobs, parallel int) error {
+func printFigure11(ctx context.Context, spec core.RunSpec, jobs int) error {
 	var rows []core.LogicThermal
 	var err error
 	if jobs > 1 {
-		rows, err = runFigure11Parallel(ctx, grid, jobs, parallel)
+		rows, err = runFigure11Parallel(ctx, spec, jobs)
 	} else {
-		rows, err = core.RunFigure11Context(ctx, grid, parallel)
+		rows, err = core.RunFigure11(ctx, spec)
 	}
 	if err != nil {
 		return err
@@ -160,18 +160,18 @@ func printFigure11(ctx context.Context, grid, jobs, parallel int) error {
 
 // runFigure11Parallel solves the three Figure 11 bars as supervised
 // harness jobs and reassembles them in paper order.
-func runFigure11Parallel(ctx context.Context, grid, jobs, parallel int) ([]core.LogicThermal, error) {
+func runFigure11Parallel(ctx context.Context, spec core.RunSpec, jobs int) ([]core.LogicThermal, error) {
 	var hjobs []harness.Job
 	for _, o := range core.LogicOptions() {
 		o := o
 		hjobs = append(hjobs, harness.Job{
 			Name: o.String(),
 			Run: func(ctx context.Context) (any, error) {
-				return core.RunLogicThermalContext(ctx, o, grid, parallel)
+				return core.RunLogicThermal(ctx, spec, o)
 			},
 		})
 	}
-	m, err := harness.Run(ctx, harness.Config{Workers: jobs}, hjobs)
+	m, err := harness.Run(ctx, harness.Config{Workers: jobs, Obs: spec.Obs}, hjobs)
 	if err != nil {
 		return nil, err
 	}

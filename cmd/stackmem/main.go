@@ -41,11 +41,14 @@ import (
 	"diestack/internal/fault"
 	"diestack/internal/harness"
 	"diestack/internal/memhier"
-	"diestack/internal/prof"
 	"diestack/internal/thermal"
 	"diestack/internal/trace"
 	"diestack/internal/workload"
 )
+
+// cli holds the shared flag group (-parallel, profiling, -metrics-out,
+// -progress); fatal needs it to flush metrics on error exits.
+var cli *core.CLIFlags
 
 func main() {
 	var (
@@ -69,16 +72,13 @@ func main() {
 		resumeFlag = flag.Bool("resume", false, "resume the -checkpoint replay from its last snapshot")
 		capacity   = flag.Int("capacity", 32, "L2 capacity in MB for the checkpointed replay (4, 12, 32 or 64)")
 
-		parallel   = flag.Int("parallel", 0, "thermal solver workers per solve (0 = serial)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-
 		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed = same faults)")
 		faultCorr   = flag.Float64("fault-corr", 0, "correctable ECC errors per million stacked-DRAM reads")
 		faultUncorr = flag.Float64("fault-uncorr", 0, "uncorrectable ECC errors per million stacked-DRAM reads")
 		faultBanks  = flag.String("fault-dead-banks", "", "comma-separated dead stacked-DRAM bank indices")
 		faultTSV    = flag.Float64("fault-tsv", 0, "fraction of die-to-die via lanes failed, in [0,0.9]")
 	)
+	cli = core.RegisterCLIFlags(flag.CommandLine, true)
 	flag.Parse()
 
 	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
@@ -96,17 +96,14 @@ func main() {
 	if *ckptEvery <= 0 {
 		fatal(fmt.Errorf("-checkpoint-every must be positive, got %d", *ckptEvery))
 	}
-	if *parallel < 0 || *parallel > thermal.MaxParallelism() {
-		fatal(fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), *parallel))
-	}
 	fc, err := faultConfig(*faultSeed, *faultCorr, *faultUncorr, *faultBanks, *faultTSV)
 	if err != nil {
 		fatal(err)
 	}
-	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+	if err := cli.Start(); err != nil {
 		fatal(err)
 	}
-	defer prof.Stop()
+	defer cli.Stop()
 
 	// Interrupts cancel the run cooperatively: replays and solves
 	// observe the context and stop at the next check, leaving any
@@ -119,19 +116,21 @@ func main() {
 		defer cancel()
 	}
 
+	spec := core.RunSpec{Seed: *seed, Scale: *scale, Grid: *grid,
+		Parallelism: cli.Parallel, Obs: cli.Obs()}
+
 	switch {
 	case *campaign:
-		if err := runCampaign(ctx, *bench, *seed, *scale, *grid, *parallel,
-			*jobs, *retries, *timeout, *manifest); err != nil {
+		if err := runCampaign(ctx, spec, *bench, *jobs, *retries, *timeout, *manifest); err != nil {
 			fatal(err)
 		}
 	case *ckptPath != "":
-		if err := runCheckpointed(ctx, *bench, *traceFile, *capacity, *seed, *scale, fc,
+		if err := runCheckpointed(ctx, spec, *bench, *traceFile, *capacity, fc,
 			*ckptPath, *ckptEvery, *resumeFlag); err != nil {
 			fatal(err)
 		}
 	case *traceFile != "":
-		if err := replayFile(*traceFile, fc); err != nil {
+		if err := replayFile(ctx, spec, *traceFile, fc); err != nil {
 			fatal(err)
 		}
 	case *showConfig:
@@ -139,22 +138,22 @@ func main() {
 	case *powerOnly:
 		printPower()
 	case *thermOnly:
-		if err := printThermal(*grid, *parallel); err != nil {
+		if err := printThermal(ctx, spec); err != nil {
 			fatal(err)
 		}
 		if *pngOut != "" {
-			if err := writeThermalMap(*grid, *parallel, *pngOut); err != nil {
+			if err := writeThermalMap(ctx, spec, *pngOut); err != nil {
 				fatal(err)
 			}
 		}
 	default:
-		if err := runPerf(*bench, *seed, *scale, fc); err != nil {
+		if err := runPerf(ctx, spec, *bench, fc); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 		printPower()
 		fmt.Println()
-		if err := printThermal(*grid, *parallel); err != nil {
+		if err := printThermal(ctx, spec); err != nil {
 			fatal(err)
 		}
 	}
@@ -163,9 +162,10 @@ func main() {
 // runCampaign executes the paper sweep as a supervised campaign and
 // writes the manifest. Failed jobs do not abort the sweep; they are
 // recorded with their cause and the process exits non-zero.
-func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, grid, parallel,
+func runCampaign(ctx context.Context, rs core.RunSpec, bench string,
 	jobs, retries int, timeout time.Duration, manifestPath string) error {
-	spec := core.CampaignSpec{Seed: seed, Scale: scale, Grid: grid, Parallelism: parallel}
+	spec := core.CampaignSpec{Seed: rs.Seed, Scale: rs.Scale, Grid: rs.Grid,
+		Parallelism: rs.Parallelism, Obs: rs.Obs}
 	if bench != "" {
 		spec.Benchmarks = []string{bench}
 	}
@@ -197,7 +197,7 @@ func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, 
 	fmt.Fprintf(os.Stderr, "campaign: %d ok, %d failed, %d panicked, %d timeout, %d canceled\n",
 		m.OK, m.Failed, m.Panicked, m.Timeout, m.Canceled)
 	if m.OK != len(m.Jobs) {
-		prof.Stop()
+		cli.Stop()
 		os.Exit(1)
 	}
 	return nil
@@ -207,8 +207,8 @@ func runCampaign(ctx context.Context, bench string, seed uint64, scale float64, 
 // capacity with periodic checkpoints, optionally resuming from the
 // last snapshot. An interrupted run resumed this way produces exactly
 // the result of an uninterrupted one.
-func runCheckpointed(ctx context.Context, bench, traceFile string, capacityMB int,
-	seed uint64, scale float64, fc fault.Config, path string, every int, resume bool) error {
+func runCheckpointed(ctx context.Context, rs core.RunSpec, bench, traceFile string, capacityMB int,
+	fc fault.Config, path string, every int, resume bool) error {
 	cfg, ok := memhier.ConfigByCapacity(capacityMB)
 	if !ok {
 		return fmt.Errorf("-capacity must be 4, 12, 32 or 64, got %d", capacityMB)
@@ -228,12 +228,12 @@ func runCheckpointed(ctx context.Context, bench, traceFile string, capacityMB in
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q (have %v)", bench, workload.Names())
 		}
-		stream = trace.NewSliceStream(b.Generate(seed, scale))
+		stream = trace.NewSliceStream(b.Generate(rs.Seed, rs.Scale))
 	default:
 		return fmt.Errorf("-checkpoint needs -bench or -trace")
 	}
 
-	opt := memhier.RunOptions{CheckpointEvery: every, CheckpointPath: path}
+	opt := memhier.RunOptions{CheckpointEvery: every, CheckpointPath: path, Obs: rs.Obs}
 	if resume {
 		cp, err := memhier.LoadCheckpoint(path)
 		if err != nil {
@@ -246,7 +246,7 @@ func runCheckpointed(ctx context.Context, bench, traceFile string, capacityMB in
 	if err != nil {
 		return err
 	}
-	res, err := sim.RunContext(ctx, stream, opt)
+	res, err := sim.Run(ctx, stream, opt)
 	if err != nil {
 		return err
 	}
@@ -279,14 +279,16 @@ func faultConfig(seed uint64, corr, uncorr float64, deadBanks string, tsv float6
 }
 
 func fatal(err error) {
-	prof.Stop()
+	if cli != nil {
+		cli.Stop()
+	}
 	fmt.Fprintln(os.Stderr, "stackmem:", err)
 	os.Exit(1)
 }
 
 // replayFile runs a tracegen-produced binary trace through all four
 // configurations.
-func replayFile(path string, fc fault.Config) error {
+func replayFile(ctx context.Context, rs core.RunSpec, path string, fc fault.Config) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -308,7 +310,7 @@ func replayFile(path string, fc fault.Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(trace.NewReader(bytes.NewReader(data)), 0)
+		res, err := sim.Run(ctx, trace.NewReader(bytes.NewReader(data)), memhier.RunOptions{Obs: rs.Obs})
 		if err != nil {
 			return err
 		}
@@ -344,7 +346,7 @@ func printConfig() {
 		base.BusBytesPerCycle*base.CoreGHz, base.CoreGHz, base.BusPicoJoulePerBit)
 }
 
-func runPerf(bench string, seed uint64, scale float64, fc fault.Config) error {
+func runPerf(ctx context.Context, rs core.RunSpec, bench string, fc fault.Config) error {
 	var benches []workload.Benchmark
 	if bench != "" {
 		b, ok := workload.ByName(bench)
@@ -356,7 +358,7 @@ func runPerf(bench string, seed uint64, scale float64, fc fault.Config) error {
 		benches = workload.All()
 	}
 
-	fmt.Printf("Figure 5 — CPMA and off-die bandwidth, scale %.2f:\n", scale)
+	fmt.Printf("Figure 5 — CPMA and off-die bandwidth, scale %.2f:\n", rs.Scale)
 	if fc.Enabled() {
 		fmt.Printf("fault injection on the stacked DRAM cache: seed %d, %g corr + %g uncorr per M reads, %d dead bank(s), %.0f%% via lanes lost\n",
 			fc.Seed, fc.CorrectablePerMAccess, fc.UncorrectablePerMAccess,
@@ -377,7 +379,7 @@ func runPerf(bench string, seed uint64, scale float64, fc fault.Config) error {
 	for _, b := range benches {
 		var a agg
 		for _, o := range opts {
-			p, err := core.RunMemoryPerfWithFaults(o, b, seed, scale, fc)
+			p, err := core.RunMemoryPerfWithFaults(ctx, rs, o, b, fc)
 			if err != nil {
 				return err
 			}
@@ -441,8 +443,8 @@ func printPower() {
 }
 
 // writeThermalMap renders Figure 8(b): the 32MB stack's thermal map.
-func writeThermalMap(grid, parallel int, path string) error {
-	m, err := core.RunMemoryThermalMapContext(context.Background(), core.Stacked32MB, grid, parallel)
+func writeThermalMap(ctx context.Context, rs core.RunSpec, path string) error {
+	m, err := core.RunMemoryThermalMap(ctx, rs, core.Stacked32MB)
 	if err != nil {
 		return err
 	}
@@ -458,9 +460,9 @@ func writeThermalMap(grid, parallel int, path string) error {
 	return nil
 }
 
-func printThermal(grid, parallel int) error {
+func printThermal(ctx context.Context, rs core.RunSpec) error {
 	fmt.Println("Peak temperatures (Figure 8a):")
-	rows, err := core.RunFigure8Context(context.Background(), grid, parallel)
+	rows, err := core.RunFigure8(ctx, rs)
 	if err != nil {
 		return err
 	}

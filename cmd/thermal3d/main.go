@@ -29,9 +29,12 @@ import (
 	"diestack/internal/core"
 	"diestack/internal/dtm"
 	"diestack/internal/fault"
-	"diestack/internal/prof"
 	"diestack/internal/thermal"
 )
+
+// cli holds the shared flag group (-parallel, profiling, -metrics-out,
+// -progress); fatal needs it to flush metrics on error exits.
+var cli *core.CLIFlags
 
 func main() {
 	var (
@@ -41,10 +44,6 @@ func main() {
 		grid      = flag.Int("grid", 0, "grid resolution (0 = default 64)")
 		pngOut    = flag.String("png", "", "also write the Figure 6 thermal map to this PNG file")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
-		parallel  = flag.Int("parallel", 0, "thermal solver workers per solve (0 = serial)")
-
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		dtmOn      = flag.Bool("dtm", false, "run closed-loop thermal management on the 3D logic stack and exit")
 		tmax       = flag.Float64("tmax", 90, "DTM: peak temperature ceiling in degC")
@@ -58,18 +57,16 @@ func main() {
 		sensorStuck  = flag.Float64("sensor-stuck", math.NaN(), "sensor fault: stuck-at reading in degC")
 		faultSeed    = flag.Uint64("fault-seed", 0, "sensor fault schedule seed")
 	)
+	cli = core.RegisterCLIFlags(flag.CommandLine, true)
 	flag.Parse()
 
 	if *grid < 0 {
 		fatal(fmt.Errorf("-grid must be non-negative, got %d", *grid))
 	}
-	if *parallel < 0 || *parallel > thermal.MaxParallelism() {
-		fatal(fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), *parallel))
-	}
-	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+	if err := cli.Start(); err != nil {
 		fatal(err)
 	}
-	defer prof.Stop()
+	defer cli.Stop()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -77,8 +74,9 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	spec := core.RunSpec{Grid: *grid, Parallelism: cli.Parallel, Obs: cli.Obs()}
 	if *dtmOn {
-		if err := runDTM(*grid, *parallel, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
+		if err := runDTM(ctx, spec, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
 			*sensorNoise, *sensorOffset, *sensorStuck, *faultSeed); err != nil {
 			fatal(err)
 		}
@@ -91,13 +89,13 @@ func main() {
 	}
 	if *baseOnly || all {
 		fmt.Println()
-		if err := printBaseline(ctx, *grid, *parallel, *pngOut); err != nil {
+		if err := printBaseline(ctx, spec, *pngOut); err != nil {
 			fatal(err)
 		}
 	}
 	if *sweepOnly || all {
 		fmt.Println()
-		if err := printSweep(ctx, *grid); err != nil {
+		if err := printSweep(ctx, spec); err != nil {
 			fatal(err)
 		}
 	}
@@ -105,7 +103,7 @@ func main() {
 
 // runDTM integrates the 3D logic stack with the DTM controller in the
 // loop and reports the managed operating point and its cost.
-func runDTM(grid, parallel int, tmax, hyst, dt float64, steps int, minFreq, noise, offset, stuck float64, seed uint64) error {
+func runDTM(ctx context.Context, spec core.RunSpec, tmax, hyst, dt float64, steps int, minFreq, noise, offset, stuck float64, seed uint64) error {
 	cfg := dtm.Config{TmaxC: tmax, HysteresisC: hyst, MinFreq: minFreq}
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("dtm flags: %w", err)
@@ -125,8 +123,8 @@ func runDTM(grid, parallel int, tmax, hyst, dt float64, steps int, minFreq, nois
 		return fmt.Errorf("sensor flags: %w", err)
 	}
 
-	res, err := core.RunManagedLogicThermal(core.Logic3D, grid, cfg, fc,
-		thermal.TransientOptions{Dt: dt, Steps: steps, Parallelism: parallel})
+	res, err := core.RunManagedLogicThermal(ctx, spec, core.Logic3D, cfg, fc,
+		thermal.TransientOptions{Dt: dt, Steps: steps, Parallelism: spec.Parallelism})
 	if err != nil && !errors.Is(err, dtm.ErrThermalRunaway) {
 		return err
 	}
@@ -149,14 +147,14 @@ func runDTM(grid, parallel int, tmax, hyst, dt float64, steps int, minFreq, nois
 	switch {
 	case err != nil:
 		fmt.Printf("  VERDICT: %v\n", err)
-		prof.Stop()
+		cli.Stop()
 		os.Exit(1)
 	case res.DTM.ManagedPeakC > tmax:
 		// No runaway, but sampling let the peak slip past the ceiling
 		// between interventions.
 		fmt.Printf("  VERDICT: Tmax exceeded transiently by %.2f degC — widen -dtm-hyst or shrink -dtm-dt\n",
 			res.DTM.ManagedPeakC-tmax)
-		prof.Stop()
+		cli.Stop()
 		os.Exit(1)
 	default:
 		fmt.Println("  VERDICT: Tmax held")
@@ -165,7 +163,9 @@ func runDTM(grid, parallel int, tmax, hyst, dt float64, steps int, minFreq, nois
 }
 
 func fatal(err error) {
-	prof.Stop()
+	if cli != nil {
+		cli.Stop()
+	}
 	fmt.Fprintln(os.Stderr, "thermal3d:", err)
 	os.Exit(1)
 }
@@ -194,8 +194,8 @@ func printMaterials() {
 
 // printBaseline solves the planar reference and renders the Figure 6
 // temperature map as ASCII shading.
-func printBaseline(ctx context.Context, grid, parallel int, pngOut string) error {
-	pd, tm, err := core.Figure6MapsContext(ctx, grid, parallel)
+func printBaseline(ctx context.Context, spec core.RunSpec, pngOut string) error {
+	pd, tm, err := core.Figure6Maps(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -245,10 +245,10 @@ func printBaseline(ctx context.Context, grid, parallel int, pngOut string) error
 	return nil
 }
 
-func printSweep(ctx context.Context, grid int) error {
+func printSweep(ctx context.Context, spec core.RunSpec) error {
 	fmt.Println("Figure 3 — peak temperature vs layer conductivity (stacked microprocessor):")
 	for _, layer := range []core.SweepLayer{core.SweepCuMetal, core.SweepBond} {
-		pts, err := core.RunFigure3Context(ctx, layer, nil, grid)
+		pts, err := core.RunFigure3(ctx, spec, layer, nil)
 		if err != nil {
 			return err
 		}

@@ -16,32 +16,35 @@ import (
 	"os"
 	"os/signal"
 
-	"diestack/internal/prof"
+	"diestack/internal/core"
 	"diestack/internal/trace"
 	"diestack/internal/workload"
 )
 
+// cli holds the shared flag group (profiling, -metrics-out,
+// -progress); fatal needs it to flush metrics on error exits.
+var cli *core.CLIFlags
+
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list available benchmarks and exit")
-		bench      = flag.String("bench", "", "benchmark to generate")
-		out        = flag.String("o", "", "output trace file (default <bench>.trace)")
-		seed       = flag.Uint64("seed", 1, "generation seed")
-		scale      = flag.Float64("scale", 1.0, "workload scale factor")
-		inspect    = flag.String("inspect", "", "summarize an existing trace file and exit")
-		timeout    = flag.Duration("timeout", 0, "deadline for reading/validating traces (0 = none)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		bench   = flag.String("bench", "", "benchmark to generate")
+		out     = flag.String("o", "", "output trace file (default <bench>.trace)")
+		seed    = flag.Uint64("seed", 1, "generation seed")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
+		timeout = flag.Duration("timeout", 0, "deadline for reading/validating traces (0 = none)")
 	)
+	cli = core.RegisterCLIFlags(flag.CommandLine, false)
 	flag.Parse()
 
 	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
 		fatal(fmt.Errorf("-scale must be positive and finite, got %v", *scale))
 	}
-	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+	if err := cli.Start(); err != nil {
 		fatal(err)
 	}
-	defer prof.Stop()
+	defer cli.Stop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -69,13 +72,15 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		prof.Stop()
+		cli.Stop()
 		os.Exit(2)
 	}
 }
 
 func fatal(err error) {
-	prof.Stop()
+	if cli != nil {
+		cli.Stop()
+	}
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
 	os.Exit(1)
 }

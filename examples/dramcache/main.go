@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(trace.NewSliceStream(recs), 0)
+		res, err := sim.Run(context.Background(), trace.NewSliceStream(recs), memhier.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

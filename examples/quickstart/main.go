@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,13 @@ func main() {
 		log.Fatal("benchmark registry is missing gauss")
 	}
 
-	baseline, err := core.RunMemoryPerf(core.Planar4MB, bench, 1, 1.0)
+	ctx := context.Background()
+	spec := core.RunSpec{Seed: 1, Scale: 1.0, Grid: 48}
+	baseline, err := core.RunMemoryPerf(ctx, spec, core.Planar4MB, bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	stacked, err := core.RunMemoryPerf(core.Stacked32MB, bench, 1, 1.0)
+	stacked, err := core.RunMemoryPerf(ctx, spec, core.Stacked32MB, bench)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func main() {
 
 	// And the thermal cost of stacking that DRAM die?
 	for _, opt := range []core.MemoryOption{core.Planar4MB, core.Stacked32MB} {
-		th, err := core.RunMemoryThermal(opt, 48)
+		th, err := core.RunMemoryThermal(ctx, spec, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := core.RunMemoryThermal(core.Planar4MB, grid)
+	base, err := core.RunMemoryThermal(context.Background(), core.RunSpec{Grid: grid}, core.Planar4MB)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	steady, err := thermal.Solve(stack, thermal.SolveOptions{})
+	steady, err := thermal.Solve(context.Background(), stack, thermal.SolveOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := thermal.SolveTransient(stack, thermal.TransientOptions{Dt: 1, Steps: 120})
+	tr, err := thermal.SolveTransient(context.Background(), stack, thermal.TransientOptions{Dt: 1, Steps: 120})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ import (
 const grid = 48
 
 func solve(s *thermal.Stack) *thermal.Field {
-	f, err := thermal.Solve(s, thermal.SolveOptions{})
+	f, err := thermal.Solve(context.Background(), s, thermal.SolveOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"diestack/internal/harness"
+	"diestack/internal/obs"
 	"diestack/internal/thermal"
 	"diestack/internal/workload"
 )
@@ -33,6 +34,22 @@ type CampaignSpec struct {
 	// harness.Config.Workers: a campaign running W jobs at P workers
 	// each keeps W*P goroutines busy.
 	Parallelism int
+	// Obs, when non-nil, instruments every job's substrates and — unless
+	// harness.Config.Obs is set separately — the harness itself, so one
+	// registry sees the whole campaign.
+	Obs *obs.Registry
+}
+
+// runSpec projects the campaign parameters onto the per-experiment
+// spec.
+func (spec CampaignSpec) runSpec() RunSpec {
+	return RunSpec{
+		Seed:        spec.Seed,
+		Scale:       spec.Scale,
+		Grid:        spec.Grid,
+		Parallelism: spec.Parallelism,
+		Obs:         spec.Obs,
+	}
 }
 
 // CampaignJobs expands the spec into the job list: one job per
@@ -59,6 +76,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 		}
 	}
 
+	rs := spec.runSpec()
 	var jobs []harness.Job
 	for _, b := range benches {
 		for _, o := range MemoryOptions() {
@@ -66,7 +84,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 			jobs = append(jobs, harness.Job{
 				Name: fmt.Sprintf("fig5/%s/%dMB", b.Name, o.CapacityMB()),
 				Run: func(ctx context.Context) (any, error) {
-					return RunMemoryPerfContext(ctx, o, b, spec.Seed, spec.Scale)
+					return RunMemoryPerf(ctx, rs, o, b)
 				},
 			})
 		}
@@ -77,7 +95,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 			jobs = append(jobs, harness.Job{
 				Name: fmt.Sprintf("fig8/thermal/%dMB", o.CapacityMB()),
 				Run: func(ctx context.Context) (any, error) {
-					return RunMemoryThermalContext(ctx, o, spec.Grid, spec.Parallelism)
+					return RunMemoryThermal(ctx, rs, o)
 				},
 			})
 		}
@@ -86,7 +104,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 			jobs = append(jobs, harness.Job{
 				Name: "fig11/logic/" + logicSlug(o),
 				Run: func(ctx context.Context) (any, error) {
-					return RunLogicThermalContext(ctx, o, spec.Grid, spec.Parallelism)
+					return RunLogicThermal(ctx, rs, o)
 				},
 			})
 		}
@@ -109,10 +127,15 @@ func logicSlug(o LogicOption) string {
 }
 
 // RunCampaign expands the spec and executes it under the harness.
+// When spec.Obs is set and cfg.Obs is not, the harness reports into
+// the same registry as the jobs.
 func RunCampaign(ctx context.Context, spec CampaignSpec, cfg harness.Config) (*harness.Manifest, error) {
 	jobs, err := CampaignJobs(spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = spec.Obs
 	}
 	return harness.Run(ctx, cfg, jobs)
 }

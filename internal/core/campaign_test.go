@@ -69,7 +69,7 @@ func TestSupervisedCampaignAcceptance(t *testing.T) {
 			fp := floorplan.Core2DuoPlanar()
 			pm := fp.PowerMapCentered(0, grid, grid, thermal.DefaultPackageW, thermal.DefaultPackageH)
 			stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: grid, Ny: grid})
-			f, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Omega: 5, MaxRecoveries: -1})
+			f, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Omega: 5, MaxRecoveries: -1})
 			if err != nil {
 				return nil, err
 			}
@@ -104,7 +104,7 @@ func TestSupervisedCampaignAcceptance(t *testing.T) {
 	// Every healthy job's value is identical to the unsupervised run.
 	bench, _ := workload.ByName("gauss")
 	for _, o := range MemoryOptions() {
-		want, err := RunMemoryPerf(o, bench, seed, scale)
+		want, err := RunMemoryPerf(context.Background(), RunSpec{Seed: seed, Scale: scale}, o, bench)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func TestThermalErrorSurfacedThroughCore(t *testing.T) {
 	fp := floorplan.Core2DuoPlanar()
 	pm := fp.PowerMapCentered(0, 8, 8, thermal.DefaultPackageW, thermal.DefaultPackageH)
 	stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: 8, Ny: 8})
-	_, err := thermal.Solve(stack, thermal.SolveOptions{MaxCycles: 1, Tolerance: 1e-300})
+	_, err := thermal.Solve(context.Background(), stack, thermal.SolveOptions{MaxCycles: 1, Tolerance: 1e-300})
 	if !errors.Is(err, thermal.ErrNotConverged) {
 		t.Fatalf("want ErrNotConverged, got %v", err)
 	}

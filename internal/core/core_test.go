@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -55,11 +56,11 @@ func TestRunMemoryPerf(t *testing.T) {
 	// Reference scale: capacity response requires the real footprint
 	// (a scaled-down gauss fits the 4 MB baseline and shows nothing).
 	b, _ := workload.ByName("gauss")
-	base, err := RunMemoryPerf(Planar4MB, b, 1, 1.0)
+	base, err := RunMemoryPerf(context.Background(), RunSpec{Seed: 1, Scale: 1.0}, Planar4MB, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := RunMemoryPerf(Stacked32MB, b, 1, 1.0)
+	big, err := RunMemoryPerf(context.Background(), RunSpec{Seed: 1, Scale: 1.0}, Stacked32MB, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestRunMemoryPerf(t *testing.T) {
 }
 
 func TestFigure5SmallScale(t *testing.T) {
-	res, err := RunFigure5(1, 0.1)
+	res, err := RunFigure5(context.Background(), RunSpec{Seed: 1, Scale: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestHeadlineClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("reference-scale Figure 5 sweep is slow")
 	}
-	res, err := RunFigure5(1, 1.0)
+	res, err := RunFigure5(context.Background(), RunSpec{Seed: 1, Scale: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestHeadlineClaims(t *testing.T) {
 }
 
 func TestRunFigure8Ordering(t *testing.T) {
-	rows, err := RunFigure8(testGrid)
+	rows, err := RunFigure8(context.Background(), RunSpec{Grid: testGrid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestLogicOptionBasics(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	rows, err := RunFigure11(testGrid)
+	rows, err := RunFigure11(context.Background(), RunSpec{Grid: testGrid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,11 +274,11 @@ func TestTable5Rows(t *testing.T) {
 
 func TestFigure3Sensitivity(t *testing.T) {
 	ks := []float64{60, 12, 3}
-	cu, err := RunFigure3(SweepCuMetal, ks, testGrid)
+	cu, err := RunFigure3(context.Background(), RunSpec{Grid: testGrid}, SweepCuMetal, ks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bond, err := RunFigure3(SweepBond, ks, testGrid)
+	bond, err := RunFigure3(context.Background(), RunSpec{Grid: testGrid}, SweepBond, ks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,10 +298,10 @@ func TestFigure3Sensitivity(t *testing.T) {
 }
 
 func TestFigure3BadInput(t *testing.T) {
-	if _, err := RunFigure3(SweepCuMetal, []float64{-1}, testGrid); err == nil {
+	if _, err := RunFigure3(context.Background(), RunSpec{Grid: testGrid}, SweepCuMetal, []float64{-1}); err == nil {
 		t.Error("negative conductivity accepted")
 	}
-	if _, err := RunFigure3(SweepLayer(5), []float64{10}, testGrid); err == nil {
+	if _, err := RunFigure3(context.Background(), RunSpec{Grid: testGrid}, SweepLayer(5), []float64{10}); err == nil {
 		t.Error("bad layer accepted")
 	}
 	if !strings.Contains(SweepLayer(5).String(), "5") {
@@ -312,7 +313,7 @@ func TestFigure3BadInput(t *testing.T) {
 }
 
 func TestFigure6Maps(t *testing.T) {
-	pd, tm, err := Figure6Maps(testGrid)
+	pd, tm, err := Figure6Maps(context.Background(), RunSpec{Grid: testGrid})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+
+	"diestack/internal/workload"
+)
+
+// This file holds the pre-consolidation entry points, kept for one
+// release. The base names are now context-first and take a RunSpec;
+// new code must not call anything in this file (verify.sh greps for
+// it).
+
+// RunMemoryPerfContext replays one benchmark against one option.
+//
+// Deprecated: call RunMemoryPerf(ctx, RunSpec{Seed: seed, Scale: scale}, o, bench).
+func RunMemoryPerfContext(ctx context.Context, o MemoryOption, bench workload.Benchmark, seed uint64, scale float64) (MemoryPerf, error) {
+	return RunMemoryPerf(ctx, RunSpec{Seed: seed, Scale: scale}, o, bench)
+}
+
+// RunFigure5Context sweeps every benchmark over every option.
+//
+// Deprecated: call RunFigure5(ctx, RunSpec{Seed: seed, Scale: scale}).
+func RunFigure5Context(ctx context.Context, seed uint64, scale float64) (*Figure5Result, error) {
+	return RunFigure5(ctx, RunSpec{Seed: seed, Scale: scale})
+}
+
+// RunMemoryThermalContext solves one option's thermal stack.
+//
+// Deprecated: call RunMemoryThermal(ctx, RunSpec{Grid: grid, Parallelism: parallel}, o).
+func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid, parallel int) (MemoryThermal, error) {
+	return RunMemoryThermal(ctx, RunSpec{Grid: grid, Parallelism: parallel}, o)
+}
+
+// RunMemoryThermalMapContext returns one option's active-layer map.
+//
+// Deprecated: call RunMemoryThermalMap(ctx, RunSpec{Grid: grid, Parallelism: parallel}, o).
+func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid, parallel int) ([][]float64, error) {
+	return RunMemoryThermalMap(ctx, RunSpec{Grid: grid, Parallelism: parallel}, o)
+}
+
+// RunFigure8Context solves all four Figure 8 options.
+//
+// Deprecated: call RunFigure8(ctx, RunSpec{Grid: grid, Parallelism: parallel}).
+func RunFigure8Context(ctx context.Context, grid, parallel int) ([]MemoryThermal, error) {
+	return RunFigure8(ctx, RunSpec{Grid: grid, Parallelism: parallel})
+}
+
+// RunLogicThermalContext solves one Figure 11 bar.
+//
+// Deprecated: call RunLogicThermal(ctx, RunSpec{Grid: grid, Parallelism: parallel}, o).
+func RunLogicThermalContext(ctx context.Context, o LogicOption, grid, parallel int) (LogicThermal, error) {
+	return RunLogicThermal(ctx, RunSpec{Grid: grid, Parallelism: parallel}, o)
+}
+
+// RunFigure11Context solves all three Figure 11 bars.
+//
+// Deprecated: call RunFigure11(ctx, RunSpec{Grid: grid, Parallelism: parallel}).
+func RunFigure11Context(ctx context.Context, grid, parallel int) ([]LogicThermal, error) {
+	return RunFigure11(ctx, RunSpec{Grid: grid, Parallelism: parallel})
+}
+
+// RunFigure3Context sweeps one layer's conductivity.
+//
+// Deprecated: call RunFigure3(ctx, RunSpec{Grid: grid}, layer, ks).
+func RunFigure3Context(ctx context.Context, layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, error) {
+	return RunFigure3(ctx, RunSpec{Grid: grid}, layer, ks)
+}
+
+// Figure6MapsContext returns the Figure 6 panels.
+//
+// Deprecated: call Figure6Maps(ctx, RunSpec{Grid: grid, Parallelism: parallel}).
+func Figure6MapsContext(ctx context.Context, grid, parallel int) (powerDensity [][]float64, temperature [][]float64, err error) {
+	return Figure6Maps(ctx, RunSpec{Grid: grid, Parallelism: parallel})
+}

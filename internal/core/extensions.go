@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/floorplan"
@@ -59,7 +60,7 @@ func RunMultiDieSweep(maxDies, grid int) ([]MultiDiePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		field, err := thermal.Solve(stack, thermal.SolveOptions{})
+		field, err := thermal.Solve(context.Background(), stack, thermal.SolveOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -115,11 +116,11 @@ func RunAutoFold(grid int) (AutoFoldComparison, error) {
 	}
 
 	var cmp AutoFoldComparison
-	cmp.Hand, err = RunLogicThermal(Logic3D, grid)
+	cmp.Hand, err = RunLogicThermal(context.Background(), RunSpec{Grid: grid}, Logic3D)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}
-	field, err := solveLogicStack(auto, grid, 1)
+	field, err := solveLogicStack(context.Background(), auto, grid, 1)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"diestack/internal/memhier"
@@ -74,7 +75,7 @@ func TestMultiDieCapacityHelpsSvm(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(trace.NewSliceStream(recs), 0)
+		res, err := sim.Run(context.Background(), trace.NewSliceStream(recs), memhier.RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

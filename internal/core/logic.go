@@ -90,30 +90,25 @@ func buildLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) *the
 
 // solveLogicStack builds and solves the thermal stack for a logic
 // floorplan whose block powers have been scaled by powerScale.
-func solveLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) (*thermal.Field, error) {
-	return thermal.Solve(buildLogicStack(fp, grid, powerScale), thermal.SolveOptions{})
+func solveLogicStack(ctx context.Context, fp *floorplan.Floorplan, grid int, powerScale float64) (*thermal.Field, error) {
+	return thermal.Solve(ctx, buildLogicStack(fp, grid, powerScale), thermal.SolveOptions{})
 }
 
-// RunLogicThermal solves one Figure 11 bar. grid <= 0 selects the
-// default resolution.
-func RunLogicThermal(o LogicOption, grid int) (LogicThermal, error) {
-	return RunLogicThermalContext(context.Background(), o, grid, 0)
-}
-
-// RunLogicThermalContext is RunLogicThermal under supervision. A
+// RunLogicThermal solves one Figure 11 bar. spec.Grid <= 0 selects the
+// default resolution; spec.Parallelism is the solver worker count. A
 // non-converging solve surfaces thermal.ErrNotConverged wrapped with
-// the option being solved. parallel is the solver worker count (0 =
-// serial).
-func RunLogicThermalContext(ctx context.Context, o LogicOption, grid, parallel int) (LogicThermal, error) {
+// the option being solved.
+func RunLogicThermal(ctx context.Context, spec RunSpec, o LogicOption) (LogicThermal, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return LogicThermal{}, err
 	}
-	field, err := thermal.SolveContext(ctx, buildLogicStack(fp, grid, 1), thermal.SolveOptions{Parallelism: parallel})
+	field, err := thermal.Solve(ctx, buildLogicStack(fp, spec.Grid, 1),
+		thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return LogicThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
-	nx, ny := gridOrDefault(grid)
+	nx, ny := gridOrDefault(spec.Grid)
 	planar := floorplan.Pentium4Planar()
 	return LogicThermal{
 		Option:       o,
@@ -124,16 +119,10 @@ func RunLogicThermalContext(ctx context.Context, o LogicOption, grid, parallel i
 }
 
 // RunFigure11 solves all three bars.
-func RunFigure11(grid int) ([]LogicThermal, error) {
-	return RunFigure11Context(context.Background(), grid, 0)
-}
-
-// RunFigure11Context is RunFigure11 under supervision. parallel is the
-// solver worker count (0 = serial).
-func RunFigure11Context(ctx context.Context, grid, parallel int) ([]LogicThermal, error) {
+func RunFigure11(ctx context.Context, spec RunSpec) ([]LogicThermal, error) {
 	out := make([]LogicThermal, 0, 3)
 	for _, o := range LogicOptions() {
-		r, err := RunLogicThermalContext(ctx, o, grid, parallel)
+		r, err := RunLogicThermal(ctx, spec, o)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +160,7 @@ func RunTable5(grid int) ([]power.Point, error) {
 	// stack determines the whole response — the bisection then costs
 	// nothing.
 	base3DPower := threeD.TotalPower()
-	ref, err := solveLogicStack(threeD, grid, 1)
+	ref, err := solveLogicStack(context.Background(), threeD, grid, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +168,7 @@ func RunTable5(grid int) ([]power.Point, error) {
 	tempAt := func(powerW float64) float64 {
 		return thermal.AmbientC + risePerWatt*powerW
 	}
-	baseline, err := RunLogicThermal(LogicPlanar, grid)
+	baseline, err := RunLogicThermal(context.Background(), RunSpec{Grid: grid}, LogicPlanar)
 	if err != nil {
 		return nil, err
 	}

@@ -129,15 +129,10 @@ type MemoryPerf struct {
 }
 
 // RunMemoryPerf replays one benchmark's trace against one
-// configuration. scale sizes the workload (1.0 = reference footprints;
-// tests use smaller).
-func RunMemoryPerf(o MemoryOption, bench workload.Benchmark, seed uint64, scale float64) (MemoryPerf, error) {
-	return RunMemoryPerfContext(context.Background(), o, bench, seed, scale)
-}
-
-// RunMemoryPerfContext is RunMemoryPerf under supervision: the replay
-// checks ctx periodically and aborts with its error on cancellation.
-func RunMemoryPerfContext(ctx context.Context, o MemoryOption, bench workload.Benchmark, seed uint64, scale float64) (MemoryPerf, error) {
+// configuration. spec.Seed and spec.Scale size the workload; spec.Obs
+// instruments the replay. The replay checks ctx periodically and
+// aborts with its error on cancellation.
+func RunMemoryPerf(ctx context.Context, spec RunSpec, o MemoryOption, bench workload.Benchmark) (MemoryPerf, error) {
 	cfg, err := o.HierarchyConfig()
 	if err != nil {
 		return MemoryPerf{}, err
@@ -146,8 +141,8 @@ func RunMemoryPerfContext(ctx context.Context, o MemoryOption, bench workload.Be
 	if err != nil {
 		return MemoryPerf{}, err
 	}
-	recs := bench.Generate(seed, scale)
-	res, err := sim.RunContext(ctx, trace.NewSliceStream(recs), memhier.RunOptions{})
+	recs := bench.Generate(spec.Seed, spec.Scale)
+	res, err := sim.Run(ctx, trace.NewSliceStream(recs), memhier.RunOptions{Obs: spec.Obs})
 	if err != nil {
 		return MemoryPerf{}, fmt.Errorf("core: %s on %s: %w", bench.Name, o, err)
 	}
@@ -163,20 +158,15 @@ type Figure5Result struct {
 
 // RunFigure5 sweeps every RMS benchmark over every configuration —
 // the paper's Figure 5. Traces are regenerated per benchmark and
-// shared across the four options.
-func RunFigure5(seed uint64, scale float64) (*Figure5Result, error) {
-	return RunFigure5Context(context.Background(), seed, scale)
-}
-
-// RunFigure5Context is RunFigure5 under supervision; cancellation
-// aborts mid-sweep with the context's error.
-func RunFigure5Context(ctx context.Context, seed uint64, scale float64) (*Figure5Result, error) {
+// shared across the four options; cancellation aborts mid-sweep with
+// the context's error.
+func RunFigure5(ctx context.Context, spec RunSpec) (*Figure5Result, error) {
 	benches := workload.All()
 	opts := MemoryOptions()
 	out := &Figure5Result{Options: opts}
 	for _, b := range benches {
 		out.Benchmarks = append(out.Benchmarks, b.Name)
-		recs := b.Generate(seed, scale)
+		recs := b.Generate(spec.Seed, spec.Scale)
 		row := make([]MemoryPerf, 0, len(opts))
 		for _, o := range opts {
 			cfg, err := o.HierarchyConfig()
@@ -187,7 +177,7 @@ func RunFigure5Context(ctx context.Context, seed uint64, scale float64) (*Figure
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.RunContext(ctx, trace.NewSliceStream(recs), memhier.RunOptions{})
+			res, err := sim.Run(ctx, trace.NewSliceStream(recs), memhier.RunOptions{Obs: spec.Obs})
 			if err != nil {
 				return nil, fmt.Errorf("core: %s on %s: %w", b.Name, o, err)
 			}
@@ -263,23 +253,17 @@ type MemoryThermal struct {
 }
 
 // RunMemoryThermal solves the option's thermal stack (Figure 8).
-// grid <= 0 selects the default resolution.
-func RunMemoryThermal(o MemoryOption, grid int) (MemoryThermal, error) {
-	return RunMemoryThermalContext(context.Background(), o, grid, 0)
-}
-
-// RunMemoryThermalContext is RunMemoryThermal under supervision. A
-// solver that fails to converge surfaces thermal.ErrNotConverged (or
-// thermal.ErrDiverged) wrapped with the option it was solving.
-// parallel is the solver worker count (0 = serial, see
-// thermal.SolveOptions.Parallelism).
-func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid, parallel int) (MemoryThermal, error) {
+// spec.Grid <= 0 selects the default resolution; spec.Parallelism is
+// the solver worker count. A solver that fails to converge surfaces
+// thermal.ErrNotConverged (or thermal.ErrDiverged) wrapped with the
+// option it was solving.
+func RunMemoryThermal(ctx context.Context, spec RunSpec, o MemoryOption) (MemoryThermal, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return MemoryThermal{}, err
 	}
-	opt := thermal.StackOptions{Nx: grid, Ny: grid}
-	nx, ny := gridOrDefault(grid)
+	opt := thermal.StackOptions{Nx: spec.Grid, Ny: spec.Grid}
+	nx, ny := gridOrDefault(spec.Grid)
 
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
 	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
@@ -292,7 +276,7 @@ func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid, parallel
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Parallelism: parallel})
+	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return MemoryThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -311,20 +295,15 @@ func RunMemoryThermalContext(ctx context.Context, o MemoryOption, grid, parallel
 
 // RunMemoryThermalMap solves one option's stack and returns the CPU
 // active layer's lateral temperature map — Figure 8(b) is this map for
-// the 32 MB configuration. grid <= 0 selects the default resolution.
-func RunMemoryThermalMap(o MemoryOption, grid int) ([][]float64, error) {
-	return RunMemoryThermalMapContext(context.Background(), o, grid, 0)
-}
-
-// RunMemoryThermalMapContext is RunMemoryThermalMap under supervision.
-// parallel is the solver worker count (0 = serial).
-func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid, parallel int) ([][]float64, error) {
+// the 32 MB configuration. spec.Grid <= 0 selects the default
+// resolution; spec.Parallelism is the solver worker count.
+func RunMemoryThermalMap(ctx context.Context, spec RunSpec, o MemoryOption) ([][]float64, error) {
 	fp, err := o.Floorplan()
 	if err != nil {
 		return nil, err
 	}
-	opt := thermal.StackOptions{Nx: grid, Ny: grid}
-	nx, ny := gridOrDefault(grid)
+	opt := thermal.StackOptions{Nx: spec.Grid, Ny: spec.Grid}
+	nx, ny := gridOrDefault(spec.Grid)
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
 	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
 
@@ -336,7 +315,7 @@ func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid, paral
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Parallelism: parallel})
+	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -348,16 +327,10 @@ func RunMemoryThermalMapContext(ctx context.Context, o MemoryOption, grid, paral
 }
 
 // RunFigure8 solves all four options (Figure 8a).
-func RunFigure8(grid int) ([]MemoryThermal, error) {
-	return RunFigure8Context(context.Background(), grid, 0)
-}
-
-// RunFigure8Context is RunFigure8 under supervision. parallel is the
-// solver worker count (0 = serial).
-func RunFigure8Context(ctx context.Context, grid, parallel int) ([]MemoryThermal, error) {
+func RunFigure8(ctx context.Context, spec RunSpec) ([]MemoryThermal, error) {
 	out := make([]MemoryThermal, 0, 4)
 	for _, o := range MemoryOptions() {
-		r, err := RunMemoryThermalContext(ctx, o, grid, parallel)
+		r, err := RunMemoryThermal(ctx, spec, o)
 		if err != nil {
 			return nil, err
 		}

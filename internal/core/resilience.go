@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/dtm"
@@ -53,14 +54,15 @@ type ManagedLogicThermal struct {
 // on a stacked option is defaulted from the floorplan: the base die's
 // share of total power, i.e. what survives parking the stacked die.
 // The returned error wraps dtm.ErrThermalRunaway when Tmax cannot be
-// held; the partial result is still returned for diagnosis.
-func RunManagedLogicThermal(o LogicOption, grid int, cfg dtm.Config, fc fault.Config, opt thermal.TransientOptions) (ManagedLogicThermal, error) {
+// held; the partial result is still returned for diagnosis. spec.Obs
+// flows into both the transient solver and the controller.
+func RunManagedLogicThermal(ctx context.Context, spec RunSpec, o LogicOption, cfg dtm.Config, fc fault.Config, opt thermal.TransientOptions) (ManagedLogicThermal, error) {
 	out := ManagedLogicThermal{Option: o}
 	fp, err := o.Floorplan()
 	if err != nil {
 		return out, err
 	}
-	steady, err := solveLogicStack(fp, grid, 1)
+	steady, err := solveLogicStack(ctx, fp, spec.Grid, 1)
 	if err != nil {
 		return out, fmt.Errorf("core: unmanaged solve: %w", err)
 	}
@@ -76,14 +78,21 @@ func RunManagedLogicThermal(o LogicOption, grid int, cfg dtm.Config, fc fault.Co
 		if inj, err = fault.New(fc); err != nil {
 			return out, fmt.Errorf("core: faults: %w", err)
 		}
+		inj.AttachObs(spec.Obs)
 		sensor = inj.Sensor()
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = spec.Obs
 	}
 	ctrl, err := dtm.New(cfg, power.PaperLaws(), DesignFor(o), sensor)
 	if err != nil {
 		return out, err
 	}
 
-	res, runErr := dtm.Run(buildLogicStack(fp, grid, 1), opt, ctrl)
+	if opt.Obs == nil {
+		opt.Obs = spec.Obs
+	}
+	res, runErr := dtm.Run(ctx, buildLogicStack(fp, spec.Grid, 1), opt, ctrl)
 	out.DTM = res
 	if inj != nil {
 		out.Faults = inj.Stats()
@@ -94,7 +103,7 @@ func RunManagedLogicThermal(o LogicOption, grid int, cfg dtm.Config, fc fault.Co
 // RunMemoryPerfWithFaults replays one benchmark's trace against one
 // Memory+Logic configuration with fault injection on the stacked DRAM
 // cache. A zero fc reproduces RunMemoryPerf exactly.
-func RunMemoryPerfWithFaults(o MemoryOption, bench workload.Benchmark, seed uint64, scale float64, fc fault.Config) (MemoryPerf, error) {
+func RunMemoryPerfWithFaults(ctx context.Context, spec RunSpec, o MemoryOption, bench workload.Benchmark, fc fault.Config) (MemoryPerf, error) {
 	cfg, err := o.HierarchyConfig()
 	if err != nil {
 		return MemoryPerf{}, err
@@ -110,8 +119,8 @@ func RunMemoryPerfWithFaults(o MemoryOption, bench workload.Benchmark, seed uint
 	if err != nil {
 		return MemoryPerf{}, err
 	}
-	recs := bench.Generate(seed, scale)
-	res, err := sim.Run(trace.NewSliceStream(recs), 0)
+	recs := bench.Generate(spec.Seed, spec.Scale)
+	res, err := sim.Run(ctx, trace.NewSliceStream(recs), memhier.RunOptions{Obs: spec.Obs})
 	if err != nil {
 		return MemoryPerf{}, fmt.Errorf("core: %s on %s: %w", bench.Name, o, err)
 	}

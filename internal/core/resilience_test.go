@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -34,7 +35,7 @@ func TestManagedLogicHoldsTmax(t *testing.T) {
 	// first 0.25 s sample) and its unmanaged steady peak (~99C), so the
 	// controller must intervene and must succeed.
 	const tmax = 90.0
-	res, err := RunManagedLogicThermal(Logic3D, dtmGrid,
+	res, err := RunManagedLogicThermal(context.Background(), RunSpec{Grid: dtmGrid}, Logic3D,
 		dtm.Config{TmaxC: tmax, HysteresisC: 3}, fault.Config{},
 		thermal.TransientOptions{Dt: 0.25, Steps: 200})
 	if err != nil {
@@ -63,7 +64,7 @@ func TestManagedLogicHoldsTmax(t *testing.T) {
 func TestImpossibleTmaxEngagesFallback(t *testing.T) {
 	// Tmax=45 with 40C ambient: only parking the stacked die can hold
 	// it. The fallback fraction is defaulted from the floorplan.
-	res, err := RunManagedLogicThermal(Logic3D, dtmGrid,
+	res, err := RunManagedLogicThermal(context.Background(), RunSpec{Grid: dtmGrid}, Logic3D,
 		dtm.Config{TmaxC: 45, RunawaySamples: 4}, fault.Config{},
 		thermal.TransientOptions{Dt: 0.5, Steps: 60})
 	if err != nil {
@@ -82,7 +83,7 @@ func TestPlanarRunawaySurfacesSentinel(t *testing.T) {
 	// A planar die has no stacked die to park (Dies==1, no fallback
 	// defaulting): an unholdable Tmax must surface ErrThermalRunaway,
 	// with the partial trajectory still returned.
-	res, err := RunManagedLogicThermal(LogicPlanar, dtmGrid,
+	res, err := RunManagedLogicThermal(context.Background(), RunSpec{Grid: dtmGrid}, LogicPlanar,
 		dtm.Config{TmaxC: 41, RunawaySamples: 4}, fault.Config{},
 		thermal.TransientOptions{Dt: 0.5, Steps: 40})
 	if !errors.Is(err, dtm.ErrThermalRunaway) {
@@ -95,7 +96,7 @@ func TestPlanarRunawaySurfacesSentinel(t *testing.T) {
 
 func TestStuckSensorBlindsDTM(t *testing.T) {
 	const steps = 100
-	res, err := RunManagedLogicThermal(Logic3D, dtmGrid,
+	res, err := RunManagedLogicThermal(context.Background(), RunSpec{Grid: dtmGrid}, Logic3D,
 		dtm.Config{TmaxC: 80},
 		fault.Config{SensorStuckAt: true, SensorStuckAtC: 50},
 		thermal.TransientOptions{Dt: 0.25, Steps: steps})
@@ -119,11 +120,11 @@ func TestStuckSensorBlindsDTM(t *testing.T) {
 
 func TestMemoryPerfWithFaultsDegradesCPMA(t *testing.T) {
 	b, _ := workload.ByName("gauss")
-	clean, err := RunMemoryPerfWithFaults(Stacked32MB, b, 1, 0.1, fault.Config{})
+	clean, err := RunMemoryPerfWithFaults(context.Background(), RunSpec{Seed: 1, Scale: 0.1}, Stacked32MB, b, fault.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := RunMemoryPerf(Stacked32MB, b, 1, 0.1)
+	ref, err := RunMemoryPerf(context.Background(), RunSpec{Seed: 1, Scale: 0.1}, Stacked32MB, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestMemoryPerfWithFaultsDegradesCPMA(t *testing.T) {
 		t.Fatalf("zero fault config diverges from RunMemoryPerf:\n%+v\n%+v", clean, ref)
 	}
 
-	faulty, err := RunMemoryPerfWithFaults(Stacked32MB, b, 1, 0.1, fault.Config{
+	faulty, err := RunMemoryPerfWithFaults(context.Background(), RunSpec{Seed: 1, Scale: 0.1}, Stacked32MB, b, fault.Config{
 		Seed:                    5,
 		UncorrectablePerMAccess: 20000,
 		DeadBanks:               []int{0, 1, 2, 3},
@@ -158,7 +159,7 @@ func TestMemoryPerfWithFaultsRejectsBadBankKill(t *testing.T) {
 	for i := range dead {
 		dead[i] = i
 	}
-	_, err := RunMemoryPerfWithFaults(Stacked32MB, b, 1, 0.05, fault.Config{DeadBanks: dead})
+	_, err := RunMemoryPerfWithFaults(context.Background(), RunSpec{Seed: 1, Scale: 0.05}, Stacked32MB, b, fault.Config{DeadBanks: dead})
 	if !errors.Is(err, fault.ErrAllBanksDead) {
 		t.Fatalf("want ErrAllBanksDead, got %v", err)
 	}

@@ -47,19 +47,14 @@ func Figure3Conductivities() []float64 {
 // roughly half the power and every watt of it must cross the metal
 // stacks and the bonding layer to reach the heat sink. That is why the
 // figure shows the Cu metal layers dominating: two 12 um metal stacks
-// sit in that path versus one 15 um bond. grid <= 0 selects the
+// sit in that path versus one 15 um bond. spec.Grid <= 0 selects the
 // default resolution.
-func RunFigure3(layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, error) {
-	return RunFigure3Context(context.Background(), layer, ks, grid)
-}
-
-// RunFigure3Context is RunFigure3 under supervision.
-func RunFigure3Context(ctx context.Context, layer SweepLayer, ks []float64, grid int) ([]SensitivityPoint, error) {
+func RunFigure3(ctx context.Context, spec RunSpec, layer SweepLayer, ks []float64) ([]SensitivityPoint, error) {
 	if len(ks) == 0 {
 		ks = Figure3Conductivities()
 	}
 	fp := floorplan.Pentium4ThreeD()
-	nx, ny := gridOrDefault(grid)
+	nx, ny := gridOrDefault(spec.Grid)
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
 	top := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
 	bot := fp.PowerMapCentered(1, nx, ny, pkgW, pkgH)
@@ -80,7 +75,7 @@ func RunFigure3Context(ctx context.Context, layer SweepLayer, ks []float64, grid
 		}
 		stack := thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(top), thermal.SRAMDie(bot), opt)
-		field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{})
+		field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("core: thermal solve at %s=%g W/mK: %w", layer, k, err)
 		}
@@ -91,16 +86,11 @@ func RunFigure3Context(ctx context.Context, layer SweepLayer, ks []float64, grid
 
 // Figure6Maps returns the baseline planar power-density map (W/m²) and
 // temperature map (degC) of the active layer, the two panels of
-// Figure 6. grid <= 0 selects the default resolution.
-func Figure6Maps(grid int) (powerDensity [][]float64, temperature [][]float64, err error) {
-	return Figure6MapsContext(context.Background(), grid, 0)
-}
-
-// Figure6MapsContext is Figure6Maps under supervision. parallel is the
-// solver worker count (0 = serial).
-func Figure6MapsContext(ctx context.Context, grid, parallel int) (powerDensity [][]float64, temperature [][]float64, err error) {
+// Figure 6. spec.Grid <= 0 selects the default resolution;
+// spec.Parallelism is the solver worker count.
+func Figure6Maps(ctx context.Context, spec RunSpec) (powerDensity [][]float64, temperature [][]float64, err error) {
 	fp := floorplan.Core2DuoPlanar()
-	nx, ny := gridOrDefault(grid)
+	nx, ny := gridOrDefault(spec.Grid)
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
 	pm := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
 
@@ -114,7 +104,7 @@ func Figure6MapsContext(ctx context.Context, grid, parallel int) (powerDensity [
 	}
 
 	stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: nx, Ny: ny})
-	field, err := thermal.SolveContext(ctx, stack, thermal.SolveOptions{Parallelism: parallel})
+	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: planar thermal solve: %w", err)
 	}

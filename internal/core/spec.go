@@ -1,0 +1,27 @@
+package core
+
+import "diestack/internal/obs"
+
+// RunSpec carries the cross-cutting parameters shared by every core
+// experiment. Each Run* entry point reads only the fields it needs —
+// a replay ignores Grid and Parallelism, a thermal solve ignores Seed
+// and Scale — so one spec can drive a whole campaign. The zero value
+// means: seed 0, reference-scale traces are NOT selected (Scale must
+// be positive for trace replays), default thermal grid, serial solver,
+// no instrumentation.
+type RunSpec struct {
+	// Seed seeds trace generation (replay experiments).
+	Seed uint64
+	// Scale sizes the generated workload footprints (1.0 = the paper's
+	// reference; tests use smaller).
+	Scale float64
+	// Grid is the thermal lateral resolution (<= 0 selects the default).
+	Grid int
+	// Parallelism is the thermal solver's worker count per solve (0 =
+	// serial; see thermal.SolveOptions.Parallelism).
+	Parallelism int
+	// Obs, when non-nil, receives metrics and spans from every substrate
+	// the experiment exercises (memhier_*, dram_*, thermal_*, fault_*).
+	// A nil registry costs nothing on the hot paths.
+	Obs *obs.Registry
+}

@@ -14,10 +14,12 @@
 package dtm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"diestack/internal/obs"
 	"diestack/internal/power"
 	"diestack/internal/thermal"
 )
@@ -68,6 +70,11 @@ type Config struct {
 	// RunawaySamples is how many consecutive over-Tmax samples at
 	// minimum throttle escalate (zero selects DefaultRunawaySamples).
 	RunawaySamples int
+	// Obs, when non-nil, receives the controller's throttle-transition
+	// counters (dtm_samples, dtm_throttle_steps, dtm_emergency_drops,
+	// dtm_release_steps, dtm_fallbacks), a dtm_freq gauge, and a
+	// "dtm/step" span per control step. A nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 // Validate reports configuration errors.
@@ -152,6 +159,15 @@ type Controller struct {
 	overN    int
 	err      error
 	stats    Stats
+	obs      ctrlObs
+}
+
+// ctrlObs holds the controller's instruments, all nil (no-op) unless
+// Config.Obs installed real ones.
+type ctrlObs struct {
+	samples, throttle, emergency, release, fallbacks *obs.Counter
+	freq                                             *obs.Gauge
+	reg                                              *obs.Registry
 }
 
 // New builds a controller. sensor translates true peak temperature to
@@ -162,14 +178,27 @@ func New(cfg Config, laws power.Laws, design power.Design, sensor func(float64) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:    cfg.withDefaults(),
 		laws:   laws,
 		design: design,
 		sensor: sensor,
 		freq:   1,
 		stats:  Stats{MinScale: 1, PeakSensedC: math.Inf(-1), PeakTrueC: math.Inf(-1)},
-	}, nil
+	}
+	if reg := cfg.Obs; reg != nil {
+		c.obs = ctrlObs{
+			samples:   reg.Counter("dtm_samples"),
+			throttle:  reg.Counter("dtm_throttle_steps"),
+			emergency: reg.Counter("dtm_emergency_drops"),
+			release:   reg.Counter("dtm_release_steps"),
+			fallbacks: reg.Counter("dtm_fallbacks"),
+			freq:      reg.Gauge("dtm_freq"),
+			reg:       reg,
+		}
+		c.obs.freq.Set(1)
+	}
+	return c, nil
 }
 
 // Freq returns the current relative frequency.
@@ -218,7 +247,10 @@ func (c *Controller) PowerPct() float64 {
 // returns the power multiplier for the next interval. It is shaped to
 // serve directly as thermal.TransientOptions.PowerScale.
 func (c *Controller) Step(_ float64, trueC float64) float64 {
+	sp := c.obs.reg.StartSpan("dtm/step")
+	defer sp.End()
 	c.stats.Samples++
+	c.obs.samples.Inc()
 	sensed := trueC
 	if c.sensor != nil {
 		sensed = c.sensor(trueC)
@@ -238,6 +270,7 @@ func (c *Controller) Step(_ float64, trueC float64) float64 {
 		if c.freq > c.cfg.MinFreq {
 			c.freq = c.cfg.MinFreq
 			c.stats.EmergencyDrops++
+			c.obs.emergency.Inc()
 		}
 		c.overN++
 		c.escalate()
@@ -246,6 +279,7 @@ func (c *Controller) Step(_ float64, trueC float64) float64 {
 		if c.freq > c.cfg.MinFreq {
 			c.freq = math.Max(c.cfg.MinFreq, c.freq-step)
 			c.stats.ThrottleSteps++
+			c.obs.throttle.Inc()
 		}
 		c.overN = 0
 	case sensed < guard-c.cfg.HysteresisC:
@@ -254,6 +288,7 @@ func (c *Controller) Step(_ float64, trueC float64) float64 {
 		if c.freq < 1 && !c.fallback {
 			c.freq = math.Min(1, c.freq+step)
 			c.stats.ReleaseSteps++
+			c.obs.release.Inc()
 		}
 		c.overN = 0
 	default:
@@ -261,6 +296,7 @@ func (c *Controller) Step(_ float64, trueC float64) float64 {
 		c.overN = 0
 	}
 
+	c.obs.freq.Set(c.freq)
 	scale := c.Scale()
 	if scale < c.stats.MinScale {
 		c.stats.MinScale = scale
@@ -280,6 +316,7 @@ func (c *Controller) escalate() {
 	if c.cfg.FallbackPowerFraction > 0 && !c.fallback {
 		c.fallback = true
 		c.stats.FallbackEngaged = true
+		c.obs.fallbacks.Inc()
 		c.overN = 0
 		return
 	}
@@ -311,13 +348,13 @@ type Result struct {
 // The returned error wraps ErrThermalRunaway when even minimum
 // throttle (and the fallback, if armed) could not hold Tmax; the
 // partial Result is still returned alongside it for diagnosis.
-func Run(s *thermal.Stack, opt thermal.TransientOptions, ctrl *Controller) (Result, error) {
+func Run(ctx context.Context, s *thermal.Stack, opt thermal.TransientOptions, ctrl *Controller) (Result, error) {
 	w, err := thermal.NewWorkspace(s)
 	if err != nil {
 		return Result{}, fmt.Errorf("dtm: transient solve: %w", err)
 	}
 	defer w.Close()
-	return RunWorkspace(w, opt, ctrl)
+	return RunWorkspace(ctx, w, opt, ctrl)
 }
 
 // RunWorkspace is Run on a caller-owned thermal Workspace: a campaign
@@ -325,12 +362,15 @@ func Run(s *thermal.Stack, opt thermal.TransientOptions, ctrl *Controller) (Resu
 // stack once and reuses it (power-map edits between runs are picked
 // up). The workspace remains usable — and owned by the caller —
 // afterwards.
-func RunWorkspace(w *thermal.Workspace, opt thermal.TransientOptions, ctrl *Controller) (Result, error) {
+func RunWorkspace(ctx context.Context, w *thermal.Workspace, opt thermal.TransientOptions, ctrl *Controller) (Result, error) {
 	if opt.PowerScale != nil {
 		return Result{}, fmt.Errorf("dtm: TransientOptions.PowerScale is reserved for the controller")
 	}
 	opt.PowerScale = ctrl.Step
-	tr, err := w.SolveTransient(opt)
+	if opt.Obs == nil {
+		opt.Obs = ctrl.cfg.Obs
+	}
+	tr, err := w.SolveTransient(ctx, opt)
 	if err != nil {
 		return Result{}, fmt.Errorf("dtm: transient solve: %w", err)
 	}

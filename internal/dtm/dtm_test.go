@@ -1,6 +1,7 @@
 package dtm
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -181,7 +182,7 @@ func TestManagedRunHoldsTmax(t *testing.T) {
 	opt := thermal.TransientOptions{Dt: 0.25, Steps: 240}
 
 	// Unmanaged: the run must bust the limit, or the test proves nothing.
-	un, err := thermal.SolveTransient(s, opt)
+	un, err := thermal.SolveTransient(context.Background(), s, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestManagedRunHoldsTmax(t *testing.T) {
 	}
 
 	ctrl := paperController(t, Config{TmaxC: tmax, HysteresisC: 3}, nil)
-	res, err := Run(s, opt, ctrl)
+	res, err := Run(context.Background(), s, opt, ctrl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestManagedRunWithNoisySensor(t *testing.T) {
 		return trueC - 1
 	}
 	ctrl := paperController(t, Config{TmaxC: tmax, HysteresisC: 4}, noisy)
-	res, err := Run(s, thermal.TransientOptions{Dt: 0.25, Steps: 240}, ctrl)
+	res, err := Run(context.Background(), s, thermal.TransientOptions{Dt: 0.25, Steps: 240}, ctrl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestRunRejectsOccupiedPowerScale(t *testing.T) {
 	ctrl := paperController(t, Config{TmaxC: 100}, nil)
 	opt := thermal.TransientOptions{Dt: 0.25, Steps: 1,
 		PowerScale: func(float64, float64) float64 { return 1 }}
-	if _, err := Run(hotStack(8), opt, ctrl); err == nil {
+	if _, err := Run(context.Background(), hotStack(8), opt, ctrl); err == nil {
 		t.Fatal("occupied PowerScale accepted")
 	}
 }
@@ -252,7 +253,7 @@ func TestRunSurfacesRunaway(t *testing.T) {
 	// (bounded) and wrap ErrThermalRunaway.
 	s := hotStack(10)
 	ctrl := paperController(t, Config{TmaxC: 45, RunawaySamples: 4}, nil)
-	res, err := Run(s, thermal.TransientOptions{Dt: 0.5, Steps: 60}, ctrl)
+	res, err := Run(context.Background(), s, thermal.TransientOptions{Dt: 0.5, Steps: 60}, ctrl)
 	if !errors.Is(err, ErrThermalRunaway) {
 		t.Fatalf("want ErrThermalRunaway, got %v", err)
 	}

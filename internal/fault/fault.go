@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"diestack/internal/obs"
 )
 
 // Sentinel errors. Callers match them with errors.Is.
@@ -263,6 +265,35 @@ type Injector struct {
 	eccN    uint64
 	sensorN uint64
 	stats   Stats
+	obs     injectorObs
+}
+
+// injectorObs mirrors Stats into observability counters; all nil
+// (no-op) until AttachObs installs real ones. It lives outside State
+// so checkpoints keep gob-encoding plain data.
+type injectorObs struct {
+	eccChecks, corrected, uncorrectable, refetches,
+	poisoned, unrecovered, sensorReads *obs.Counter
+}
+
+// AttachObs resolves the injection-by-kind counters (fault_ecc_checks,
+// fault_ecc_corrected, fault_ecc_uncorrectable, fault_refetches,
+// fault_lines_poisoned, fault_unrecovered, fault_sensor_reads) against
+// reg. A nil registry detaches (the default).
+func (in *Injector) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		in.obs = injectorObs{}
+		return
+	}
+	in.obs = injectorObs{
+		eccChecks:     reg.Counter("fault_ecc_checks"),
+		corrected:     reg.Counter("fault_ecc_corrected"),
+		uncorrectable: reg.Counter("fault_ecc_uncorrectable"),
+		refetches:     reg.Counter("fault_refetches"),
+		poisoned:      reg.Counter("fault_lines_poisoned"),
+		unrecovered:   reg.Counter("fault_unrecovered"),
+		sensorReads:   reg.Counter("fault_sensor_reads"),
+	}
 }
 
 // New builds an injector, returning an error for invalid configs.
@@ -318,6 +349,7 @@ func (in *Injector) draw(domain, n uint64) float64 {
 // the seed and the read counter.
 func (in *Injector) CheckRead() ECCOutcome {
 	in.stats.ECCChecks++
+	in.obs.eccChecks.Inc()
 	n := in.eccN
 	in.eccN++
 	pu := in.cfg.UncorrectablePerMAccess / 1e6
@@ -329,9 +361,11 @@ func (in *Injector) CheckRead() ECCOutcome {
 	switch {
 	case u < pu:
 		in.stats.Uncorrectable++
+		in.obs.uncorrectable.Inc()
 		return ECCUncorrectable
 	case u < pu+pc:
 		in.stats.Corrected++
+		in.obs.corrected.Inc()
 		return ECCCorrected
 	default:
 		return ECCClean
@@ -351,13 +385,22 @@ func (in *Injector) BackoffBase() int64 { return in.cfg.backoffBase() }
 func (in *Injector) CountRetryCycles(c int64) { in.stats.RetryCyclesAdded += c }
 
 // CountRefetch records one recovery refetch from main memory.
-func (in *Injector) CountRefetch() { in.stats.Refetches++ }
+func (in *Injector) CountRefetch() {
+	in.stats.Refetches++
+	in.obs.refetches.Inc()
+}
 
 // CountPoisoned records one line invalidated by an uncorrectable error.
-func (in *Injector) CountPoisoned() { in.stats.LinesPoisoned++ }
+func (in *Injector) CountPoisoned() {
+	in.stats.LinesPoisoned++
+	in.obs.poisoned.Inc()
+}
 
 // CountUnrecovered records one access that exhausted its retry budget.
-func (in *Injector) CountUnrecovered() { in.stats.Unrecovered++ }
+func (in *Injector) CountUnrecovered() {
+	in.stats.Unrecovered++
+	in.obs.unrecovered.Inc()
+}
 
 // DRAMModel is the device-side view of the injector: it implements the
 // dram package's FaultModel interface (bank remapping and TSV latency
@@ -444,6 +487,7 @@ func (c Config) ValidateBanks(banks int) error {
 func (in *Injector) Sensor() func(trueC float64) float64 {
 	return func(trueC float64) float64 {
 		in.stats.SensorReads++
+		in.obs.sensorReads.Inc()
 		if in.cfg.SensorStuckAt {
 			return in.cfg.SensorStuckAtC
 		}

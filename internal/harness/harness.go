@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"diestack/internal/obs"
 )
 
 // Job is one unit of campaign work.
@@ -58,6 +60,38 @@ type Config struct {
 	Sleep func(time.Duration)
 	// Log, when non-nil, receives one line per attempt outcome.
 	Log func(format string, args ...any)
+	// Obs, when non-nil, receives campaign metrics — queue depth and
+	// running-job gauges, done/failed/retry/timeout/canceled/panic
+	// counters (the obs.MetricJobs* names the progress reporter reads) —
+	// and a "harness/job" span per job. A nil registry costs nothing.
+	Obs *obs.Registry
+}
+
+// harnessObs holds the campaign's instruments, all nil (no-op) unless
+// Config.Obs installed real ones.
+type harnessObs struct {
+	reg                        *obs.Registry
+	done, failed, retries      *obs.Counter
+	timeouts, canceled, panics *obs.Counter
+	total, queued, running     *obs.Gauge
+}
+
+func bindObs(reg *obs.Registry) harnessObs {
+	if reg == nil {
+		return harnessObs{}
+	}
+	return harnessObs{
+		reg:      reg,
+		done:     reg.Counter(obs.MetricJobsDone),
+		failed:   reg.Counter(obs.MetricJobsFailed),
+		retries:  reg.Counter(obs.MetricJobRetries),
+		timeouts: reg.Counter("harness_job_timeouts"),
+		canceled: reg.Counter("harness_jobs_canceled"),
+		panics:   reg.Counter("harness_job_panics"),
+		total:    reg.Gauge(obs.MetricJobsTotal),
+		queued:   reg.Gauge("harness_queue_depth"),
+		running:  reg.Gauge("harness_jobs_running"),
+	}
 }
 
 // Status classifies a job's final outcome.
@@ -166,6 +200,10 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 		logf = func(string, ...any) {}
 	}
 
+	ho := bindObs(cfg.Obs)
+	ho.total.Set(float64(len(jobs)))
+	ho.queued.Set(float64(len(jobs)))
+
 	// Workers pull job indexes and write into distinct slots of a
 	// preallocated result slice, so no result-side synchronization is
 	// needed beyond the WaitGroup.
@@ -177,7 +215,11 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				results[i] = runJob(ctx, cfg, jobs[i], sleep, logf)
+				ho.queued.Add(-1)
+				ho.running.Add(1)
+				results[i] = runJob(ctx, cfg, jobs[i], sleep, logf, ho)
+				ho.running.Add(-1)
+				ho.publish(results[i])
 			}
 		}()
 	}
@@ -189,6 +231,8 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 			// invoked.
 			results[i] = JobResult{Name: jobs[i].Name, Status: StatusCanceled,
 				Error: ctx.Err().Error()}
+			ho.queued.Add(-1)
+			ho.publish(results[i])
 		}
 	}
 	close(feed)
@@ -213,8 +257,32 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 	return m, nil
 }
 
+// publish folds one finished job into the campaign counters.
+func (ho harnessObs) publish(res JobResult) {
+	ho.done.Inc()
+	switch res.Status {
+	case StatusOK:
+	case StatusTimeout:
+		ho.timeouts.Inc()
+		ho.failed.Inc()
+	case StatusCanceled:
+		ho.canceled.Inc()
+		ho.failed.Inc()
+	case StatusPanicked:
+		ho.panics.Inc()
+		ho.failed.Inc()
+	default:
+		ho.failed.Inc()
+	}
+	if res.Attempts > 1 {
+		ho.retries.Add(uint64(res.Attempts - 1))
+	}
+}
+
 // runJob runs one job through its attempt loop.
-func runJob(ctx context.Context, cfg Config, job Job, sleep func(time.Duration), logf func(string, ...any)) JobResult {
+func runJob(ctx context.Context, cfg Config, job Job, sleep func(time.Duration), logf func(string, ...any), ho harnessObs) JobResult {
+	sp := ho.reg.StartSpan("harness/job")
+	defer sp.End()
 	res := JobResult{Name: job.Name}
 	timeout := cfg.Timeout
 	if job.Timeout > 0 {

@@ -1,6 +1,7 @@
 package memhier
 
 import (
+	"context"
 	"testing"
 
 	"diestack/internal/trace"
@@ -21,7 +22,7 @@ func replayBench(b *testing.B, cfg Config) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.Run(trace.NewSliceStream(recs), 0); err != nil {
+		if _, err := sim.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,12 +61,12 @@ func BenchmarkReplaySteadyState(b *testing.B) {
 		b.Fatal(err)
 	}
 	src := &benchStream{}
-	if _, err := sim.Run(src, 10_000); err != nil { // warm the caches
+	if _, err := sim.Run(context.Background(), src, RunOptions{Limit: 10_000}); err != nil { // warm the caches
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	if _, err := sim.Run(src, b.N); err != nil {
+	if _, err := sim.Run(context.Background(), src, RunOptions{Limit: b.N}); err != nil {
 		b.Fatal(err)
 	}
 }

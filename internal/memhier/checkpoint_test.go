@@ -46,7 +46,7 @@ func runResumed(t *testing.T, cfg Config, recs []trace.Record, interruptAt int) 
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 
 	first := mustSim(t, cfg)
-	_, err := first.RunContext(context.Background(), trace.NewSliceStream(recs), RunOptions{
+	_, err := first.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{
 		Limit: interruptAt, CheckpointEvery: interruptAt, CheckpointPath: path,
 	})
 	if err != nil {
@@ -61,7 +61,7 @@ func runResumed(t *testing.T, cfg Config, recs []trace.Record, interruptAt int) 
 		t.Fatalf("checkpoint at record %d, want %d", cp.Records, interruptAt)
 	}
 	second := mustSim(t, cfg)
-	res, err := second.RunContext(context.Background(), trace.NewSliceStream(recs), RunOptions{Resume: cp})
+	res, err := second.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{Resume: cp})
 	if err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
@@ -71,7 +71,7 @@ func runResumed(t *testing.T, cfg Config, recs []trace.Record, interruptAt int) 
 func TestCheckpointResumeBitIdentical(t *testing.T) {
 	recs := ckptTrace(5000)
 	for _, cfg := range []Config{BaselineConfig(), StackedDRAMConfig(32)} {
-		uninterrupted, err := mustSim(t, cfg).Run(trace.NewSliceStream(recs), 0)
+		uninterrupted, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestCheckpointResumeWithFaultsBitIdentical(t *testing.T) {
 		UncorrectablePerMAccess: 500,
 	}
 	recs := ckptTrace(5000)
-	uninterrupted, err := mustSim(t, cfg).Run(trace.NewSliceStream(recs), 0)
+	uninterrupted, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestCheckpointRefusesCorruptFile(t *testing.T) {
 	cfg := BaselineConfig()
 	recs := ckptTrace(1000)
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	_, err := mustSim(t, cfg).RunContext(context.Background(), trace.NewSliceStream(recs), RunOptions{
+	_, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{
 		CheckpointEvery: 500, CheckpointPath: path,
 	})
 	if err != nil {
@@ -156,7 +156,7 @@ func TestCheckpointRefusesWrongTrace(t *testing.T) {
 	cfg := BaselineConfig()
 	recs := ckptTrace(1000)
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	_, err := mustSim(t, cfg).RunContext(context.Background(), trace.NewSliceStream(recs), RunOptions{
+	_, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{
 		CheckpointEvery: 500, CheckpointPath: path,
 	})
 	if err != nil {
@@ -170,19 +170,19 @@ func TestCheckpointRefusesWrongTrace(t *testing.T) {
 	t.Run("different content", func(t *testing.T) {
 		other := ckptTrace(1000)
 		other[100].Addr ^= 0x1000
-		_, err := mustSim(t, cfg).RunContext(context.Background(), trace.NewSliceStream(other), RunOptions{Resume: cp})
+		_, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(other), RunOptions{Resume: cp})
 		if !errors.Is(err, ErrCheckpointMismatch) {
 			t.Fatalf("want ErrCheckpointMismatch, got %v", err)
 		}
 	})
 	t.Run("trace too short", func(t *testing.T) {
-		_, err := mustSim(t, cfg).RunContext(context.Background(), trace.NewSliceStream(recs[:100]), RunOptions{Resume: cp})
+		_, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(recs[:100]), RunOptions{Resume: cp})
 		if !errors.Is(err, ErrCheckpointMismatch) {
 			t.Fatalf("want ErrCheckpointMismatch, got %v", err)
 		}
 	})
 	t.Run("different machine", func(t *testing.T) {
-		_, err := mustSim(t, StackedDRAMConfig(32)).RunContext(context.Background(), trace.NewSliceStream(recs), RunOptions{Resume: cp})
+		_, err := mustSim(t, StackedDRAMConfig(32)).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{Resume: cp})
 		if !errors.Is(err, ErrCheckpointMismatch) {
 			t.Fatalf("want ErrCheckpointMismatch, got %v", err)
 		}
@@ -193,7 +193,7 @@ func TestRunContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	recs := ckptTrace(20000)
-	_, err := mustSim(t, BaselineConfig()).RunContext(ctx, trace.NewSliceStream(recs), RunOptions{CancelEvery: 1})
+	_, err := mustSim(t, BaselineConfig()).Run(ctx, trace.NewSliceStream(recs), RunOptions{CancelEvery: 1})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -201,7 +201,7 @@ func TestRunContextCancellation(t *testing.T) {
 
 func TestCheckpointEveryRequiresPath(t *testing.T) {
 	recs := ckptTrace(10)
-	_, err := mustSim(t, BaselineConfig()).RunContext(context.Background(), trace.NewSliceStream(recs), RunOptions{CheckpointEvery: 5})
+	_, err := mustSim(t, BaselineConfig()).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{CheckpointEvery: 5})
 	if err == nil {
 		t.Fatal("CheckpointEvery without CheckpointPath should be rejected")
 	}

@@ -1,0 +1,18 @@
+package memhier
+
+import (
+	"context"
+
+	"diestack/internal/trace"
+)
+
+// This file holds the pre-consolidation entry point, kept for one
+// release. Run is now context-first; new code must not call anything
+// in this file (verify.sh greps for it).
+
+// RunContext replays the stream under supervision.
+//
+// Deprecated: Run is now context-first; call Run(ctx, stream, opt).
+func (s *Simulator) RunContext(ctx context.Context, stream trace.Stream, opt RunOptions) (Result, error) {
+	return s.Run(ctx, stream, opt)
+}

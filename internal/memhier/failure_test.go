@@ -1,6 +1,7 @@
 package memhier
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -26,7 +27,7 @@ func (f *faultyStream) Next() (trace.Record, error) {
 
 func TestRunPropagatesStreamErrors(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
-	_, err := s.Run(&faultyStream{good: 100}, 0)
+	_, err := s.Run(context.Background(), &faultyStream{good: 100}, RunOptions{})
 	if err == nil {
 		t.Fatal("stream fault swallowed")
 	}
@@ -37,7 +38,7 @@ func TestRunPropagatesStreamErrors(t *testing.T) {
 
 func TestRunStopsAtLimitBeforeFault(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
-	res, err := s.Run(&faultyStream{good: 100}, 50)
+	res, err := s.Run(context.Background(), &faultyStream{good: 100}, RunOptions{Limit: 50})
 	if err != nil {
 		t.Fatalf("limit should stop before the fault: %v", err)
 	}
@@ -60,7 +61,7 @@ func (w *wrappedEOFStream) Next() (trace.Record, error) {
 
 func TestRunHandlesEOF(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
-	res, err := s.Run(&wrappedEOFStream{}, 0)
+	res, err := s.Run(context.Background(), &wrappedEOFStream{}, RunOptions{})
 	if err != nil || res.Records != 10 {
 		t.Fatalf("EOF handling wrong: %d records, err=%v", res.Records, err)
 	}
@@ -71,7 +72,7 @@ func TestSingleCoreMachine(t *testing.T) {
 	cfg.Cores = 1
 	s := mustSim(t, cfg)
 	recs := seqTrace(5000, 1, func(i int) uint64 { return uint64(i%64) * 64 })
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestDependencyBeyondWindowStillRuns(t *testing.T) {
 			CPU: uint8(i % 2), Kind: trace.Load, Reps: 3,
 		}
 	}
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestBinaryReaderAsStream(t *testing.T) {
 	}
 
 	s := mustSim(t, BaselineConfig())
-	res, err := s.Run(trace.NewReader(strings.NewReader(sb.String())), 0)
+	res, err := s.Run(context.Background(), trace.NewReader(strings.NewReader(sb.String())), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestBinaryReaderAsStream(t *testing.T) {
 	// And a truncated file surfaces an error instead of silence.
 	s2 := mustSim(t, BaselineConfig())
 	trunc := sb.String()[:sb.Len()-7]
-	if _, err := s2.Run(trace.NewReader(strings.NewReader(trunc)), 0); err == nil {
+	if _, err := s2.Run(context.Background(), trace.NewReader(strings.NewReader(trunc)), RunOptions{}); err == nil {
 		t.Fatal("truncated trace accepted")
 	}
 }

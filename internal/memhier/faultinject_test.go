@@ -1,6 +1,7 @@
 package memhier
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -21,7 +22,7 @@ func runFaulty(t *testing.T, fc fault.Config, recs []trace.Record) Result {
 	t.Helper()
 	cfg := StackedDRAMConfig(32)
 	cfg.Faults = fc
-	res, err := mustSim(t, cfg).Run(trace.NewSliceStream(recs), 0)
+	res, err := mustSim(t, cfg).Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestDeadBanksOnSRAML2Ignored(t *testing.T) {
 		t.Fatalf("SRAM L2 rejected dead-bank config: %v", err)
 	}
 	s := mustSim(t, cfg)
-	res, err := s.Run(trace.NewSliceStream(l2WorkingSetTrace(5000)), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(l2WorkingSetTrace(5000)), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

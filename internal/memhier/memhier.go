@@ -22,6 +22,7 @@ import (
 	"diestack/internal/cache"
 	"diestack/internal/dram"
 	"diestack/internal/fault"
+	"diestack/internal/obs"
 	"diestack/internal/stats"
 	"diestack/internal/trace"
 )
@@ -225,6 +226,48 @@ type Simulator struct {
 	// encode buffer every interval.
 	cpScratch Checkpoint
 	cpBuf     bytes.Buffer
+
+	// obs holds the replay's observability instruments, all nil (no-op)
+	// unless RunOptions.Obs installed real ones. Kept out of Config so
+	// checkpointed configs stay plain serializable data.
+	obs simObs
+}
+
+// simObs is the per-simulator instrument set resolved by bindObs.
+type simObs struct {
+	records, refs        *obs.Counter
+	l1Hits, l1Misses     *obs.Counter
+	l2Hits, l2Misses     *obs.Counter
+	writebacks, busBytes *obs.Counter
+	latency              *obs.Histogram
+}
+
+// bindObs resolves the simulator's instruments against reg (nil
+// detaches everything) and attaches the DRAM devices and the fault
+// injector.
+func (s *Simulator) bindObs(reg *obs.Registry) {
+	if reg == nil {
+		s.obs = simObs{}
+	} else {
+		s.obs = simObs{
+			records:    reg.Counter("memhier_records"),
+			refs:       reg.Counter("memhier_refs"),
+			l1Hits:     reg.Counter("memhier_l1_hits"),
+			l1Misses:   reg.Counter("memhier_l1_misses"),
+			l2Hits:     reg.Counter("memhier_l2_hits"),
+			l2Misses:   reg.Counter("memhier_l2_misses"),
+			writebacks: reg.Counter("memhier_writebacks"),
+			busBytes:   reg.Counter("memhier_bus_bytes"),
+			latency:    reg.Histogram("memhier_latency_cycles", 0, 2048, 64),
+		}
+	}
+	if s.darr != nil {
+		s.darr.AttachObs(reg, "dram_cache")
+	}
+	s.mem.AttachObs(reg, "dram_mem")
+	if s.inj != nil {
+		s.inj.AttachObs(reg)
+	}
 }
 
 // New builds a simulator, returning an error for invalid configs.
@@ -356,23 +399,29 @@ type RunOptions struct {
 	// CancelEvery is how many records pass between context checks
 	// (default 4096).
 	CancelEvery int
+	// Obs, when non-nil, receives replay metrics — memhier_records,
+	// memhier_refs, L1/L2 hit and miss counters, memhier_writebacks,
+	// memhier_bus_bytes, a memhier_latency_cycles histogram — plus the
+	// attached DRAM devices' row-buffer counters (dram_cache_*,
+	// dram_mem_*), the fault injector's injection counters, and a
+	// "memhier/replay" span. A nil registry keeps the replay loop
+	// allocation-free and observability-free.
+	Obs *obs.Registry
 }
 
-// Run replays the stream to completion (or limit records, if limit>0)
-// and returns the aggregated result.
-func (s *Simulator) Run(stream trace.Stream, limit int) (Result, error) {
-	return s.RunContext(context.Background(), stream, RunOptions{Limit: limit})
-}
-
-// RunContext replays the stream under supervision: cooperative
-// cancellation via ctx (checked every opt.CancelEvery records),
-// periodic checkpointing, and resumption from a prior checkpoint. A
-// resumed run produces a Result bit-identical to an uninterrupted one.
-func (s *Simulator) RunContext(ctx context.Context, stream trace.Stream, opt RunOptions) (Result, error) {
+// Run replays the stream under supervision: cooperative cancellation
+// via ctx (checked every opt.CancelEvery records), periodic
+// checkpointing, and resumption from a prior checkpoint. A resumed run
+// produces a Result bit-identical to an uninterrupted one. The zero
+// RunOptions replays the whole stream unsupervised.
+func (s *Simulator) Run(ctx context.Context, stream trace.Stream, opt RunOptions) (Result, error) {
 	cancelEvery := opt.CancelEvery
 	if cancelEvery <= 0 {
 		cancelEvery = 4096
 	}
+	s.bindObs(opt.Obs)
+	sp := opt.Obs.StartSpan("memhier/replay")
+	defer sp.End()
 	st := newRunState(s.cfg)
 	if opt.Resume != nil {
 		if err := s.restore(st, opt.Resume, stream); err != nil {
@@ -431,6 +480,7 @@ func (s *Simulator) RunContext(ctx context.Context, stream trace.Stream, opt Run
 		}
 
 		s.latencies.Add(float64(completion - issue))
+		s.obs.latency.Observe(float64(completion - issue))
 
 		// Replay the same-line repeats as back-to-back L1 hits: one
 		// issue slot each, completing L1-latency later. The program
@@ -440,6 +490,8 @@ func (s *Simulator) RunContext(ctx context.Context, stream trace.Stream, opt Run
 		reps := int64(rec.Reps)
 		st.slot[cpu] += 1 + reps
 		st.refs += uint64(1 + reps)
+		s.obs.records.Inc()
+		s.obs.refs.Add(uint64(1 + reps))
 		st.sumLat += (completion - issue) + reps*l1Lat
 		s.repHits += uint64(reps)
 		repDone := issue + reps + l1Lat
@@ -535,8 +587,10 @@ func (s *Simulator) access(now int64, cpu int, addr uint64, kind trace.Kind) int
 	out := l1.Access(addr, write)
 	t := now + l1.Config().Latency
 	if out.Hit {
+		s.obs.l1Hits.Inc()
 		return t
 	}
+	s.obs.l1Misses.Inc()
 	// A displaced dirty L1 line is written back into the shared L2
 	// off the critical path.
 	if out.Evicted && out.Eviction.Dirty {
@@ -568,6 +622,11 @@ func (s *Simulator) invalidateOthers(cpu int, addr uint64, now int64) {
 func (s *Simulator) l2Access(t int64, addr uint64, write bool) int64 {
 	out := s.l2.Access(addr, write)
 	tagDone := t + s.l2.Config().Latency
+	if out.Hit {
+		s.obs.l2Hits.Inc()
+	} else {
+		s.obs.l2Misses.Inc()
+	}
 
 	if s.cfg.L2Type == L2SRAM {
 		if out.Hit {
@@ -674,6 +733,7 @@ func (s *Simulator) handleL2Eviction(t int64, out cache.Outcome) {
 	if s.cfg.L2.SectorBytes == 0 {
 		n = 1
 	}
+	s.obs.writebacks.Inc()
 	s.memAccess(t, out.Eviction.Addr, true, granule*uint64(n))
 }
 
@@ -700,6 +760,7 @@ func (s *Simulator) memAccess(t int64, addr uint64, write bool, nbytes uint64) i
 	}
 	s.busFree = start + slot
 	s.offDieBytes += nbytes
+	s.obs.busBytes.Add(nbytes)
 
 	done, _ := s.mem.Access(start+slot, addr, write)
 	return done

@@ -1,6 +1,7 @@
 package memhier
 
 import (
+	"context"
 	"testing"
 
 	"diestack/internal/cache"
@@ -88,7 +89,7 @@ func TestStacked12MBGeometry(t *testing.T) {
 
 func TestEmptyTrace(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
-	res, err := s.Run(trace.NewSliceStream(nil), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(nil), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestEmptyTrace(t *testing.T) {
 func TestBadCPURejected(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
 	recs := []trace.Record{{ID: 0, Dep: trace.NoDep, CPU: 7, Kind: trace.Load}}
-	if _, err := s.Run(trace.NewSliceStream(recs), 0); err == nil {
+	if _, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{}); err == nil {
 		t.Fatal("record with out-of-range CPU accepted")
 	}
 }
@@ -111,7 +112,7 @@ func TestAllHitsCPMAAtFloor(t *testing.T) {
 	// hits L1, both cores issue one access per cycle, and CPMA sits at
 	// its two-core floor of 0.5 (wall cycles / total references).
 	recs := seqTrace(20000, 2, func(i int) uint64 { return uint64(i%64) * 8 })
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,12 +146,12 @@ func TestDependencySerialization(t *testing.T) {
 		return recs
 	}
 	sDep := mustSim(t, BaselineConfig())
-	resDep, err := sDep.Run(trace.NewSliceStream(mkTrace(true)), 0)
+	resDep, err := sDep.Run(context.Background(), trace.NewSliceStream(mkTrace(true)), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sInd := mustSim(t, BaselineConfig())
-	resInd, err := sInd.Run(trace.NewSliceStream(mkTrace(false)), 0)
+	resInd, err := sInd.Run(context.Background(), trace.NewSliceStream(mkTrace(false)), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestCapacityResponse(t *testing.T) {
 
 	run := func(cfg Config) Result {
 		s := mustSim(t, cfg)
-		res, err := s.Run(trace.NewSliceStream(seqTrace(n, 2, addr)), 0)
+		res, err := s.Run(context.Background(), trace.NewSliceStream(seqTrace(n, 2, addr)), RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func TestCoherenceInvalidation(t *testing.T) {
 		// CPU 1 must reload the line after CPU 0's store.
 		{ID: 3, Dep: trace.NoDep, Addr: 0x1000, CPU: 1, Kind: trace.Load},
 	}
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestIfetchUsesL1I(t *testing.T) {
 		{ID: 0, Dep: trace.NoDep, Addr: 0x8000, CPU: 0, Kind: trace.Ifetch},
 		{ID: 1, Dep: trace.NoDep, Addr: 0x8000, CPU: 0, Kind: trace.Ifetch},
 	}
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestIfetchUsesL1I(t *testing.T) {
 func TestLimitRecords(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
 	recs := seqTrace(1000, 2, func(i int) uint64 { return uint64(i) * 64 })
-	res, err := s.Run(trace.NewSliceStream(recs), 100)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{Limit: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestDRAMCacheSectorBehaviour(t *testing.T) {
 		{ID: 0, Dep: trace.NoDep, Addr: 0x10000, CPU: 0, Kind: trace.Load},
 		{ID: 1, Dep: trace.NoDep, Addr: 0x10000, CPU: 0, Kind: trace.Load},
 	}
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestDRAMCacheHitAvoidsBus(t *testing.T) {
 		{ID: 0, Dep: trace.NoDep, Addr: 0x20000, CPU: 0, Kind: trace.Load},
 		{ID: 1, Dep: trace.NoDep, Addr: 0x20000, CPU: 1, Kind: trace.Load},
 	}
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestWritebackTraffic(t *testing.T) {
 		recs = append(recs, trace.Record{ID: id, Dep: trace.NoDep, Addr: a, CPU: uint8(id % 2), Kind: trace.Load})
 		id++
 	}
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestBandwidthAndPowerAccounting(t *testing.T) {
 	s := mustSim(t, BaselineConfig())
 	// Stream through memory: every access misses everywhere.
 	recs := seqTrace(50000, 2, func(i int) uint64 { return uint64(i) * 64 })
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestL2KindString(t *testing.T) {
 func TestStatsLedger(t *testing.T) {
 	s := mustSim(t, StackedDRAMConfig(32))
 	recs := seqTrace(30000, 2, func(i int) uint64 { return uint64(i*199) % (16 << 20) })
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestLatencyQuantiles(t *testing.T) {
 		}
 		return uint64(i%8) * 64 // hot lines: L1 hits
 	})
-	res, err := s.Run(trace.NewSliceStream(recs), 0)
+	res, err := s.Run(context.Background(), trace.NewSliceStream(recs), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+// Command checksnap validates a -metrics-out JSONL file: every line
+// must decode as an obs.Snapshot, the last line must be the final
+// summary, and the five metric families (memhier, thermal, dtm, fault,
+// harness) must all be present. verify.sh runs it against the campaign
+// smoke output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"diestack/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checksnap <metrics.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var last obs.Snapshot
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		lines++
+		var snap obs.Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			fatal(fmt.Errorf("line %d: %w", lines, err))
+		}
+		last = snap
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if lines == 0 {
+		fatal(fmt.Errorf("no snapshots in %s", os.Args[1]))
+	}
+	if !last.Final {
+		fatal(fmt.Errorf("last snapshot is not the final summary"))
+	}
+	for _, fam := range []string{"memhier", "thermal", "dtm", "fault", "harness"} {
+		if !hasFamily(last, fam) {
+			fatal(fmt.Errorf("final snapshot has no %s_* metrics", fam))
+		}
+	}
+	fmt.Printf("checksnap: %d snapshot(s), %d counters, %d gauges, %d span kinds\n",
+		lines, len(last.Counters), len(last.Gauges), len(last.SpanTotals))
+}
+
+func hasFamily(s obs.Snapshot, prefix string) bool {
+	for name := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checksnap:", err)
+	os.Exit(1)
+}

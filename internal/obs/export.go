@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Exporter periodically serializes registry snapshots as JSON Lines —
+// one snapshot object per line — and writes a final summary snapshot
+// (with "final": true) on Close. Snapshots of counters and gauges are
+// cumulative, so consumers can tail the file or just read the last
+// line.
+type Exporter struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu  sync.Mutex // serializes writes to enc
+	enc *json.Encoder
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	closeErr error
+}
+
+// NewExporter starts exporting reg to w every interval. An interval
+// <= 0 disables the periodic loop: only explicit Flush calls and the
+// final Close snapshot write anything.
+func NewExporter(reg *Registry, w io.Writer, interval time.Duration) *Exporter {
+	e := &Exporter{
+		reg:      reg,
+		interval: interval,
+		enc:      json.NewEncoder(w),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if interval > 0 {
+		go e.loop()
+	} else {
+		close(e.done)
+	}
+	return e
+}
+
+func (e *Exporter) loop() {
+	defer close(e.done)
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.write(false)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Exporter) write(final bool) error {
+	snap := e.reg.Snapshot(final)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(snap)
+}
+
+// Flush writes a snapshot immediately.
+func (e *Exporter) Flush() error { return e.write(false) }
+
+// Close stops the periodic loop and writes the final summary snapshot.
+// It is idempotent; later calls return the first result.
+func (e *Exporter) Close() error {
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		<-e.done
+		e.closeErr = e.write(true)
+	})
+	return e.closeErr
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from 8 goroutines and
+// checks that no increment is lost (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	const goroutines, perG = 8, 100_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.CounterValue("hits"); got != goroutines*perG {
+		t.Fatalf("CounterValue = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestHistogramConcurrent checks bucket placement and the total count
+// under 8 concurrent observers.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", 0, 100, 10)
+	const goroutines, perG = 8, 50_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*10) + 5) // one bucket per goroutine
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	for i := 0; i < goroutines; i++ {
+		if got := h.buckets[i].Load(); got != perG {
+			t.Fatalf("bucket %d = %d, want %d", i, got, perG)
+		}
+	}
+	// Clamping: out-of-range samples land in the edge buckets.
+	h.Observe(-5)
+	h.Observe(1e9)
+	if got := h.Count(); got != goroutines*perG+2 {
+		t.Fatalf("count after clamp = %d, want %d", got, goroutines*perG+2)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 16 {
+		t.Fatalf("gauge = %v, want 16", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", 0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	if q := h.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("p50 = %v, want ~50", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %v, want 100", q)
+	}
+}
+
+// TestSnapshotJSONLRoundTrip exports a populated registry as JSONL and
+// decodes every line back, checking the final summary carries the data.
+func TestSnapshotJSONLRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("memhier_records").Add(42)
+	reg.Gauge("thermal_peak_c").Set(91.5)
+	reg.Histogram("lat", 0, 10, 5).Observe(3)
+	root := reg.StartSpan("core/run")
+	child := root.Child("memhier/replay")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	e := NewExporter(reg, &buf, 0)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("memhier_records").Add(8)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+
+	dec := json.NewDecoder(&buf)
+	var snaps []Snapshot
+	for {
+		var s Snapshot
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	first, last := snaps[0], snaps[1]
+	if first.Final || !last.Final {
+		t.Fatalf("final flags wrong: %v %v", first.Final, last.Final)
+	}
+	if first.Counters["memhier_records"] != 42 || last.Counters["memhier_records"] != 50 {
+		t.Fatalf("counter progression wrong: %v %v", first.Counters, last.Counters)
+	}
+	if last.Gauges["thermal_peak_c"] != 91.5 {
+		t.Fatalf("gauge = %v", last.Gauges["thermal_peak_c"])
+	}
+	if h, ok := last.Histograms["lat"]; !ok || len(h.Counts) != 5 || h.Counts[1] != 1 {
+		t.Fatalf("histogram data wrong: %+v", h)
+	}
+	// Spans drain into the first snapshot that sees them; totals persist.
+	if len(first.Spans) != 2 {
+		t.Fatalf("first snapshot has %d spans, want 2", len(first.Spans))
+	}
+	var sawChild bool
+	for _, sp := range first.Spans {
+		if sp.Name == "memhier/replay" && sp.Parent == "core/run" {
+			sawChild = true
+		}
+	}
+	if !sawChild {
+		t.Fatalf("child span with parent missing: %+v", first.Spans)
+	}
+	if len(last.Spans) != 0 {
+		t.Fatalf("spans were not drained: %+v", last.Spans)
+	}
+	if tot := last.SpanTotals["core/run"]; tot.Count != 1 {
+		t.Fatalf("span totals missing: %+v", last.SpanTotals)
+	}
+}
+
+// TestNoopAllocs asserts the disabled path — nil registry, nil
+// instruments — allocates nothing on the hot paths.
+func TestNoopAllocs(t *testing.T) {
+	var reg *Registry // disabled
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", 0, 1, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(1)
+		h.Observe(0.5)
+		sp := reg.StartSpan("phase")
+		sp.Child("sub").End()
+		sp.End()
+		_ = c.Value()
+		_ = reg.CounterValue("x")
+		_ = reg.Snapshot(false).Final
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op path allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterAllocs asserts the enabled counter hot path is
+// also allocation-free (the shard probe must stay on the stack).
+func TestEnabledCounterAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	h := reg.Histogram("h", 0, 10, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled counter path allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestSpanRingBounded overfills the ring and checks the drain stays
+// bounded while totals keep counting.
+func TestSpanRingBounded(t *testing.T) {
+	reg := NewRegistry()
+	const n = spanRingCap + 100
+	for i := 0; i < n; i++ {
+		reg.StartSpan("tick").End()
+	}
+	snap := reg.Snapshot(false)
+	if len(snap.Spans) != spanRingCap {
+		t.Fatalf("ring drained %d records, want %d", len(snap.Spans), spanRingCap)
+	}
+	if tot := snap.SpanTotals["tick"]; tot.Count != n {
+		t.Fatalf("totals = %d, want %d", tot.Count, n)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge(MetricJobsTotal).Set(10)
+	reg.Counter(MetricJobsDone).Add(4)
+	reg.Counter(MetricJobsFailed).Inc()
+	reg.Gauge(MetricPeakC).Set(88.25)
+	var buf bytes.Buffer
+	p := NewProgress(reg, &buf, time.Hour)
+	line := p.Line()
+	p.Close()
+	p.Close() // idempotent
+	for _, want := range []string{"jobs 4/10", "(1 failed)", "peak 88.2C", "eta"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatalf("Close did not terminate the line: %q", buf.String())
+	}
+}

@@ -1,0 +1,271 @@
+// Package obs is the simulator's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, fixed-bucket histograms),
+// lightweight wall-time spans with parent/child nesting, a periodic
+// JSONL snapshot exporter, and a live one-line campaign progress
+// reporter.
+//
+// Everything is built around a single invariant: a nil *Registry — and
+// every instrument handed out by one — is a complete no-op that
+// performs zero allocations and zero atomic operations. Packages
+// therefore instrument unconditionally (`c.Inc()` on a possibly-nil
+// *Counter) and pay nothing when observability is disabled, which is
+// the common case for the replay hot loop.
+//
+// The hot path is lock-free: counters spread their increments across
+// cache-line-padded atomic shards (indexed from the goroutine's stack
+// address, approximating per-P accumulation without runtime
+// dependencies) and are summed only at snapshot time. Spans and
+// registration take a mutex; they run once per phase, not per record.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// nShards is the counter fan-out. 16 shards comfortably cover the
+// worker-pool sizes the harness and thermal solver run (GOMAXPROCS on
+// typical hosts) while keeping snapshot sums cheap.
+const nShards = 16
+
+// counterShard pads each atomic to its own cache line so concurrent
+// writers on different shards never false-share.
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil Counter is a no-op.
+type Counter struct {
+	shards [nShards]counterShard
+}
+
+// shardIndex derives a shard from the address of a stack local: stacks
+// of distinct goroutines live in distinct allocations, so concurrent
+// writers spread across shards without any runtime/per-P machinery.
+// The local never escapes, so this is allocation-free.
+func shardIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe)) >> 10 % nShards)
+}
+
+// Add increments the counter by n. Safe for concurrent use; a no-op on
+// a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. It is a snapshot, not a linearization point:
+// concurrent Adds may or may not be included.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a last-value metric (queue depth, current peak temperature).
+// A nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed-width linear buckets over
+// [lo, hi); out-of-range observations clamp into the first/last bucket,
+// so the total count is exact. A nil Histogram is a no-op.
+type Histogram struct {
+	lo, hi, width float64
+	buckets       []atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	if v > h.lo {
+		i = int((v - h.lo) / h.width)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count sums all buckets.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from
+// the bucket boundaries, or NaN for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if h == nil || total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return h.lo + float64(i+1)*h.width
+		}
+	}
+	return h.hi
+}
+
+// Registry names and owns instruments. All methods are safe for
+// concurrent use, and every method on a nil Registry returns a nil
+// instrument, so disabled observability needs no branching at call
+// sites.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu sync.Mutex
+	ring   []SpanRecord // bounded span ring, oldest overwritten
+	ringAt int
+	totals map[string]*spanTotal
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		totals:   map[string]*spanTotal{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// n fixed-width buckets over [lo, hi). Later calls with the same name
+// return the existing histogram and ignore the shape arguments.
+func (r *Registry) Histogram(name string, lo, hi float64, n int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n),
+			buckets: make([]atomic.Uint64, n)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue reads the named counter (0 if absent or nil registry).
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// GaugeValue reads the named gauge (0 if absent or nil registry).
+func (r *Registry) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	return g.Value()
+}

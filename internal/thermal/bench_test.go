@@ -1,6 +1,9 @@
 package thermal
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func benchStack(grid int) *Stack {
 	pm := NewPowerMap(grid, grid).FillRect(grid/4, grid/4, 3*grid/4, 3*grid/4, 92)
@@ -10,7 +13,7 @@ func benchStack(grid int) *Stack {
 func BenchmarkSolve32(b *testing.B) {
 	s := benchStack(32)
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(s, SolveOptions{}); err != nil {
+		if _, err := Solve(context.Background(), s, SolveOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -19,7 +22,7 @@ func BenchmarkSolve32(b *testing.B) {
 func BenchmarkSolve64(b *testing.B) {
 	s := benchStack(64)
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(s, SolveOptions{}); err != nil {
+		if _, err := Solve(context.Background(), s, SolveOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -38,7 +41,7 @@ func BenchmarkSolve64Parallel8(b *testing.B) {
 	defer w.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.Solve(SolveOptions{Parallelism: 8}); err != nil {
+		if _, err := w.Solve(context.Background(), SolveOptions{Parallelism: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,7 +59,7 @@ func BenchmarkWorkspaceResolve32(b *testing.B) {
 	defer w.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.Solve(SolveOptions{}); err != nil {
+		if _, err := w.Solve(context.Background(), SolveOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +69,7 @@ func BenchmarkTransientStep(b *testing.B) {
 	s := benchStack(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveTransient(s, TransientOptions{Dt: 1, Steps: 10}); err != nil {
+		if _, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 1, Steps: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}

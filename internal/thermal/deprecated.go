@@ -1,0 +1,37 @@
+package thermal
+
+import "context"
+
+// This file holds the pre-consolidation entry points, kept for one
+// release. The context-first Solve/SolveTransient functions are the
+// API; new code must not call anything in this file (verify.sh greps
+// for it).
+
+// SolveContext solves s to steady state.
+//
+// Deprecated: Solve is now context-first; call Solve(ctx, s, opt).
+func SolveContext(ctx context.Context, s *Stack, opt SolveOptions) (*Field, error) {
+	return Solve(ctx, s, opt)
+}
+
+// SolveContext solves the workspace's stack to steady state.
+//
+// Deprecated: call Workspace.Solve(ctx, opt).
+func (w *Workspace) SolveContext(ctx context.Context, opt SolveOptions) (*Field, error) {
+	return w.Solve(ctx, opt)
+}
+
+// SolveTransientContext integrates the transient response of s.
+//
+// Deprecated: SolveTransient is now context-first; call
+// SolveTransient(ctx, s, opt).
+func SolveTransientContext(ctx context.Context, s *Stack, opt TransientOptions) (*TransientResult, error) {
+	return SolveTransient(ctx, s, opt)
+}
+
+// SolveTransientContext integrates the workspace's transient response.
+//
+// Deprecated: call Workspace.SolveTransient(ctx, opt).
+func (w *Workspace) SolveTransientContext(ctx context.Context, opt TransientOptions) (*TransientResult, error) {
+	return w.SolveTransient(ctx, opt)
+}

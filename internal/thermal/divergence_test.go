@@ -13,7 +13,7 @@ import (
 
 func TestSolveRecoversFromDivergence(t *testing.T) {
 	s := oneDStack(10)
-	f, err := Solve(s, SolveOptions{Omega: 5})
+	f, err := Solve(context.Background(), s, SolveOptions{Omega: 5})
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -21,7 +21,7 @@ func TestSolveRecoversFromDivergence(t *testing.T) {
 		t.Fatal("omega=5 should have required at least one damped restart")
 	}
 	// The recovered answer must match an undamaged solve.
-	ref, err := Solve(s, SolveOptions{})
+	ref, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestSolveRecoversFromDivergence(t *testing.T) {
 
 func TestSolveDivergesWithoutRecovery(t *testing.T) {
 	s := oneDStack(10)
-	_, err := Solve(s, SolveOptions{Omega: 5, MaxRecoveries: -1})
+	_, err := Solve(context.Background(), s, SolveOptions{Omega: 5, MaxRecoveries: -1})
 	if !errors.Is(err, ErrDiverged) {
 		t.Fatalf("want ErrDiverged, got %v", err)
 	}
@@ -51,7 +51,7 @@ func TestSolveDivergesWithoutRecovery(t *testing.T) {
 func TestSolveReportsNonConvergenceWithResidual(t *testing.T) {
 	s := oneDStack(10)
 	// One cycle at an impossible tolerance cannot converge.
-	f, err := Solve(s, SolveOptions{MaxCycles: 1, Tolerance: 1e-300})
+	f, err := Solve(context.Background(), s, SolveOptions{MaxCycles: 1, Tolerance: 1e-300})
 	if !errors.Is(err, ErrNotConverged) {
 		t.Fatalf("want ErrNotConverged, got %v", err)
 	}
@@ -76,7 +76,7 @@ func TestSolveReportsNonConvergenceWithResidual(t *testing.T) {
 func TestSolveContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := SolveContext(ctx, oneDStack(10), SolveOptions{})
+	_, err := Solve(ctx, oneDStack(10), SolveOptions{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -85,7 +85,7 @@ func TestSolveContextCancellation(t *testing.T) {
 func TestTransientContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := SolveTransientContext(ctx, oneDStack(10), TransientOptions{Dt: 0.01, Steps: 5})
+	_, err := SolveTransient(ctx, oneDStack(10), TransientOptions{Dt: 0.01, Steps: 5})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -107,7 +107,7 @@ func TestTransientRecoversFromInjectedNaN(t *testing.T) {
 			return 1
 		},
 	}
-	res, err := SolveTransient(s, opt)
+	res, err := SolveTransient(context.Background(), s, opt)
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -127,7 +127,7 @@ func TestTransientDivergesWithoutRecovery(t *testing.T) {
 		Dt: 0.01, Steps: 5, MaxRecoveries: -1,
 		PowerScale: func(tm, peak float64) float64 { return math.NaN() },
 	}
-	_, err := SolveTransient(s, opt)
+	_, err := SolveTransient(context.Background(), s, opt)
 	if !errors.Is(err, ErrDiverged) {
 		t.Fatalf("want ErrDiverged, got %v", err)
 	}
@@ -150,7 +150,7 @@ func TestTransientRecoveryHalvesTimestepLastResort(t *testing.T) {
 			return 1
 		},
 	}
-	res, err := SolveTransient(s, opt)
+	res, err := SolveTransient(context.Background(), s, opt)
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}

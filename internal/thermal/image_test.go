@@ -2,6 +2,7 @@ package thermal
 
 import (
 	"bytes"
+	"context"
 	"image/png"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestWritePNGErrors(t *testing.T) {
 
 func TestFieldWriteLayerPNG(t *testing.T) {
 	s := transientStack(30, 10)
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,13 +79,13 @@ func TestTransientThermostat(t *testing.T) {
 	// unmanaged steady peak.
 	const grid = 10
 	s := transientStack(60, grid)
-	steady, err := Solve(s, SolveOptions{})
+	steady, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	setpoint := AmbientC + 0.6*(steady.Peak()-AmbientC)
 
-	tr, err := SolveTransient(s, TransientOptions{
+	tr, err := SolveTransient(context.Background(), s, TransientOptions{
 		Dt: 2, Steps: 120,
 		PowerScale: func(_ float64, peakC float64) float64 {
 			if peakC >= setpoint {
@@ -119,7 +120,7 @@ func TestTransientThermostat(t *testing.T) {
 
 func TestTransientScaleDefaultsToOne(t *testing.T) {
 	s := transientStack(20, 8)
-	tr, err := SolveTransient(s, TransientOptions{Dt: 1, Steps: 5})
+	tr, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 1, Steps: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

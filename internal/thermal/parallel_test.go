@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -53,12 +54,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 		"tall":   tallTestStack(t, 16),
 	}
 	for name, s := range stacks {
-		serial, err := Solve(s, SolveOptions{})
+		serial, err := Solve(context.Background(), s, SolveOptions{})
 		if err != nil {
 			t.Fatalf("%s: serial solve: %v", name, err)
 		}
 		for _, p := range []int{1, 2, 8} {
-			f, err := Solve(s, SolveOptions{Parallelism: p})
+			f, err := Solve(context.Background(), s, SolveOptions{Parallelism: p})
 			if err != nil {
 				t.Fatalf("%s: parallel solve (P=%d): %v", name, p, err)
 			}
@@ -79,7 +80,7 @@ func TestParallelDeterminism(t *testing.T) {
 	s := testStack(24)
 	var fields []*Field
 	for run := 0; run < 2; run++ {
-		f, err := Solve(s, SolveOptions{Parallelism: 8})
+		f, err := Solve(context.Background(), s, SolveOptions{Parallelism: 8})
 		if err != nil {
 			t.Fatalf("run %d: %v", run, err)
 		}
@@ -103,14 +104,14 @@ func TestParallelDeterminism(t *testing.T) {
 func TestTransientParallelMatchesSerial(t *testing.T) {
 	s := testStack(16)
 	opt := TransientOptions{Dt: 0.5, Steps: 8}
-	serial, err := SolveTransient(s, opt)
+	serial, err := SolveTransient(context.Background(), s, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []int{1, 2, 8} {
 		opt := opt
 		opt.Parallelism = p
-		tr, err := SolveTransient(s, opt)
+		tr, err := SolveTransient(context.Background(), s, opt)
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}
@@ -134,7 +135,7 @@ func TestParallelismValidation(t *testing.T) {
 	}
 	s := testStack(8)
 	for _, p := range []int{-1, -100, MaxParallelism() + 1} {
-		_, err := Solve(s, SolveOptions{Parallelism: p})
+		_, err := Solve(context.Background(), s, SolveOptions{Parallelism: p})
 		if !errors.Is(err, ErrBadParallelism) {
 			t.Errorf("Parallelism=%d: got %v, want ErrBadParallelism", p, err)
 		}
@@ -144,12 +145,12 @@ func TestParallelismValidation(t *testing.T) {
 		} else if pe.Requested != p {
 			t.Errorf("Parallelism=%d: error reports Requested=%d", p, pe.Requested)
 		}
-		_, terr := SolveTransient(s, TransientOptions{Dt: 1, Steps: 1, Parallelism: p})
+		_, terr := SolveTransient(context.Background(), s, TransientOptions{Dt: 1, Steps: 1, Parallelism: p})
 		if !errors.Is(terr, ErrBadParallelism) {
 			t.Errorf("transient Parallelism=%d: got %v, want ErrBadParallelism", p, terr)
 		}
 	}
-	if _, err := Solve(s, SolveOptions{Parallelism: 0}); err != nil {
+	if _, err := Solve(context.Background(), s, SolveOptions{Parallelism: 0}); err != nil {
 		t.Errorf("Parallelism=0 (serial default): %v", err)
 	}
 }
@@ -168,14 +169,14 @@ func TestWorkspaceReuse(t *testing.T) {
 	}
 	defer w.Close()
 
-	fresh, err := Solve(s, SolveOptions{})
+	fresh, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Two serial solves, then pool sizes 2 and 8, then serial again:
 	// every one must match the fresh single-use solve exactly.
 	for _, p := range []int{0, 0, 2, 8, 0} {
-		f, err := w.Solve(SolveOptions{Parallelism: p})
+		f, err := w.Solve(context.Background(), SolveOptions{Parallelism: p})
 		if err != nil {
 			t.Fatalf("workspace solve (P=%d): %v", p, err)
 		}
@@ -186,7 +187,7 @@ func TestWorkspaceReuse(t *testing.T) {
 
 	// Returned fields own their data: the first result must survive
 	// later solves on the same workspace.
-	first, err := w.Solve(SolveOptions{})
+	first, err := w.Solve(context.Background(), SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +195,11 @@ func TestWorkspaceReuse(t *testing.T) {
 
 	// Mutating the power map in place is picked up by the next solve.
 	pm.Scale(1.5)
-	hot, err := w.Solve(SolveOptions{})
+	hot, err := w.Solve(context.Background(), SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	freshHot, err := Solve(s, SolveOptions{})
+	freshHot, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +215,11 @@ func TestWorkspaceReuse(t *testing.T) {
 
 	// A transient on the same workspace matches a fresh transient.
 	topt := TransientOptions{Dt: 0.5, Steps: 4}
-	trW, err := w.SolveTransient(topt)
+	trW, err := w.SolveTransient(context.Background(), topt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trFresh, err := SolveTransient(s, topt)
+	trFresh, err := SolveTransient(context.Background(), s, topt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package thermal
 import (
 	"context"
 	"math"
+
+	"diestack/internal/obs"
 )
 
 // SolveOptions tunes the solver. Zero values select the defaults.
@@ -33,6 +35,11 @@ type SolveOptions struct {
 	// values above MaxParallelism() are rejected with a
 	// *ParallelismError wrapping ErrBadParallelism.
 	Parallelism int
+	// Obs, when non-nil, receives solver metrics (thermal_solves,
+	// thermal_sweeps, thermal_divergence_retries counters; thermal_peak_c
+	// and thermal_residual gauges) and a "thermal/solve" span per solve.
+	// A nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -155,20 +162,17 @@ func (sv *solver) idx(z, y, x int) int { return (z*sv.ny+y)*sv.nx + x }
 //
 // Each call discretizes the stack from scratch; callers solving the
 // same geometry repeatedly should keep a Workspace instead.
-func Solve(s *Stack, opt SolveOptions) (*Field, error) {
-	return SolveContext(context.Background(), s, opt)
-}
-
-// SolveContext is Solve with cooperative cancellation: the context is
-// checked between alternating-direction cycles, and ctx.Err() is
-// returned as soon as the context is done.
-func SolveContext(ctx context.Context, s *Stack, opt SolveOptions) (*Field, error) {
+//
+// Cancellation is cooperative: the context is checked between
+// alternating-direction cycles, and ctx.Err() is returned as soon as
+// the context is done.
+func Solve(ctx context.Context, s *Stack, opt SolveOptions) (*Field, error) {
 	w, err := NewWorkspace(s)
 	if err != nil {
 		return nil, err
 	}
 	defer w.Close()
-	return w.SolveContext(ctx, opt)
+	return w.Solve(ctx, opt)
 }
 
 // isFinite reports whether x is neither NaN nor infinite.

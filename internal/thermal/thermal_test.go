@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -84,7 +85,7 @@ func oneDStack(power float64) *Stack {
 func TestSolveMatchesOneDAnalytic(t *testing.T) {
 	const power = 10.0
 	s := oneDStack(power)
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestSolveMatchesOneDAnalytic(t *testing.T) {
 
 func TestEnergyConservation(t *testing.T) {
 	s := oneDStack(25)
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestEnergyConservation(t *testing.T) {
 
 func TestNoPowerMeansAmbient(t *testing.T) {
 	s := oneDStack(0)
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestHotspotLocality(t *testing.T) {
 	pm := NewPowerMap(nx, ny)
 	pm.Set(2, 2, 20) // concentrated corner source
 	s := PlanarStack(0.012, 0.012, pm, StackOptions{Nx: nx, Ny: ny})
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestBondConductivityMatters(t *testing.T) {
 		mem := NewPowerMap(24, 24).FillUniform(3)
 		s := ThreeDStack(0.012, 0.012, LogicDie(cpu), DRAMDie(mem),
 			StackOptions{Nx: 24, Ny: 24, BondK: bondK})
-		f, err := Solve(s, SolveOptions{})
+		f, err := Solve(context.Background(), s, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -269,7 +270,7 @@ func TestMaximumPrincipleQuick(t *testing.T) {
 			pm.Set(i%nx, i/nx, float64(v)/16)
 		}
 		s := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: nx, Ny: ny})
-		fld, err := Solve(s, SolveOptions{})
+		fld, err := Solve(context.Background(), s, SolveOptions{})
 		if err != nil {
 			return false
 		}
@@ -284,7 +285,7 @@ func TestSolverSymmetry(t *testing.T) {
 	nx, ny := 12, 12
 	pm := NewPowerMap(nx, ny).FillRect(4, 4, 8, 8, 30) // centered block
 	s := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: nx, Ny: ny})
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestSolverSymmetry(t *testing.T) {
 
 func TestSolveConvergesWithinBudget(t *testing.T) {
 	s := oneDStack(1)
-	f, err := Solve(s, SolveOptions{MaxCycles: 500})
+	f, err := Solve(context.Background(), s, SolveOptions{MaxCycles: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,11 +316,11 @@ func TestLinearityInPower(t *testing.T) {
 	// ambient everywhere.
 	s1 := oneDStack(10)
 	s2 := oneDStack(20)
-	f1, err := Solve(s1, SolveOptions{})
+	f1, err := Solve(context.Background(), s1, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := Solve(s2, SolveOptions{})
+	f2, err := Solve(context.Background(), s2, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestLinearityInPower(t *testing.T) {
 func TestLayerMapShape(t *testing.T) {
 	pm := NewPowerMap(8, 8).FillUniform(10)
 	s := PlanarStack(0.01, 0.01, pm, StackOptions{Nx: 8, Ny: 8})
-	f, err := Solve(s, SolveOptions{})
+	f, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"diestack/internal/obs"
 )
 
 // TransientOptions tunes SolveTransient.
@@ -42,6 +44,11 @@ type TransientOptions struct {
 	// After a divergence recovery the integration restarts from t=0
 	// and the hook is consulted again from the beginning.
 	PowerScale func(t float64, peakC float64) float64
+	// Obs, when non-nil, receives transient metrics (thermal_steps and
+	// thermal_divergence_retries counters, a live thermal_peak_c gauge
+	// updated every step) and a "thermal/transient" span per
+	// integration. A nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 func (o TransientOptions) withDefaults() TransientOptions {
@@ -90,13 +97,9 @@ type TransientResult struct {
 // Power maps are applied as a step input at t=0 from the uniform
 // initial temperature, which answers "how fast does the stack heat
 // up" — the question steady-state analysis cannot.
-func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
-	return SolveTransientContext(context.Background(), s, opt)
-}
-
-// SolveTransientContext is SolveTransient with cooperative
-// cancellation: the context is checked between time steps, and
-// ctx.Err() is returned as soon as the context is done.
+//
+// Cancellation is cooperative: the context is checked between time
+// steps, and ctx.Err() is returned as soon as the context is done.
 //
 // A step that produces a non-finite temperature (a diverging inner
 // iteration, or a NaN injected through the power maps or the
@@ -104,25 +107,20 @@ func SolveTransient(s *Stack, opt TransientOptions) (*TransientResult, error) {
 // damped relaxation factor, then with a halved time step, up to
 // MaxRecoveries times before giving up with a *ConvergenceError
 // wrapping ErrDiverged.
-func SolveTransientContext(ctx context.Context, s *Stack, opt TransientOptions) (*TransientResult, error) {
+func SolveTransient(ctx context.Context, s *Stack, opt TransientOptions) (*TransientResult, error) {
 	w, err := NewWorkspace(s)
 	if err != nil {
 		return nil, err
 	}
 	defer w.Close()
-	return w.SolveTransientContext(ctx, opt)
+	return w.SolveTransient(ctx, opt)
 }
 
-// SolveTransient is SolveTransient on the reused workspace.
-func (w *Workspace) SolveTransient(opt TransientOptions) (*TransientResult, error) {
-	return w.SolveTransientContext(context.Background(), opt)
-}
-
-// SolveTransientContext integrates the transient response, reusing the
+// SolveTransient integrates the transient response, reusing the
 // workspace's discretization and worker pool across every time step
 // and recovery attempt. Semantics match the package-level
-// SolveTransientContext.
-func (w *Workspace) SolveTransientContext(ctx context.Context, opt TransientOptions) (*TransientResult, error) {
+// SolveTransient.
+func (w *Workspace) SolveTransient(ctx context.Context, opt TransientOptions) (*TransientResult, error) {
 	if opt.Dt <= 0 || opt.Steps <= 0 {
 		return nil, fmt.Errorf("thermal: transient needs positive Dt and Steps, got %g/%d", opt.Dt, opt.Steps)
 	}
@@ -135,6 +133,8 @@ func (w *Workspace) SolveTransientContext(ctx context.Context, opt TransientOpti
 		return nil, err
 	}
 	pool := w.poolFor(workers)
+	sp := opt.Obs.StartSpan("thermal/transient")
+	defer sp.End()
 
 	omega := opt.Omega
 	dt, steps := opt.Dt, opt.Steps
@@ -142,6 +142,7 @@ func (w *Workspace) SolveTransientContext(ctx context.Context, opt TransientOpti
 		res, err := w.transientOnce(ctx, opt, pool, omega, dt, steps, attempt)
 		var ce *ConvergenceError
 		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
+			opt.Obs.Counter("thermal_divergence_retries").Inc()
 			omega = dampOmega(omega)
 			if attempt+1 == opt.MaxRecoveries {
 				// Last resort: also halve the time step, doubling the
@@ -184,6 +185,8 @@ func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, poo
 			prevPeak = v
 		}
 	}
+	stepCount := opt.Obs.Counter("thermal_steps")
+	peakGauge := opt.Obs.Gauge(obs.MetricPeakC)
 	for step := 1; step <= steps; step++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -230,6 +233,8 @@ func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, poo
 		res.PeakC = append(res.PeakC, peak)
 		res.StoredJ = append(res.StoredJ, stored)
 		res.Scale = append(res.Scale, scale)
+		stepCount.Inc()
+		peakGauge.Set(peak)
 		prevPeak = peak
 	}
 

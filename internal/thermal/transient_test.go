@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -13,18 +14,18 @@ func transientStack(power float64, grid int) *Stack {
 
 func TestTransientRejectsBadOptions(t *testing.T) {
 	s := transientStack(50, 8)
-	if _, err := SolveTransient(s, TransientOptions{Dt: 0, Steps: 5}); err == nil {
+	if _, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 0, Steps: 5}); err == nil {
 		t.Error("zero Dt accepted")
 	}
-	if _, err := SolveTransient(s, TransientOptions{Dt: 0.1, Steps: 0}); err == nil {
+	if _, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 0.1, Steps: 0}); err == nil {
 		t.Error("zero Steps accepted")
 	}
-	if _, err := SolveTransient(s, TransientOptions{Dt: 0.1, Steps: 1, Omega: 3}); err == nil {
+	if _, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 0.1, Steps: 1, Omega: 3}); err == nil {
 		t.Error("bad omega accepted")
 	}
 	bad := *s
 	bad.Layers = nil
-	if _, err := SolveTransient(&bad, TransientOptions{Dt: 0.1, Steps: 1}); err == nil {
+	if _, err := SolveTransient(context.Background(), &bad, TransientOptions{Dt: 0.1, Steps: 1}); err == nil {
 		t.Error("invalid stack accepted")
 	}
 }
@@ -32,12 +33,12 @@ func TestTransientRejectsBadOptions(t *testing.T) {
 func TestTransientMonotoneRiseToSteady(t *testing.T) {
 	const grid = 12
 	s := transientStack(40, grid)
-	steady, err := Solve(s, SolveOptions{})
+	steady, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	tr, err := SolveTransient(s, TransientOptions{Dt: 0.5, Steps: 120})
+	tr, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 0.5, Steps: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestTransientEnergyBookkeeping(t *testing.T) {
 	const grid = 10
 	const power = 30.0
 	s := transientStack(power, grid)
-	tr, err := SolveTransient(s, TransientOptions{Dt: 0.2, Steps: 20})
+	tr, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 0.2, Steps: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestTransientEnergyBookkeeping(t *testing.T) {
 func TestTransientInitialCondition(t *testing.T) {
 	const grid = 8
 	s := transientStack(0, grid) // unpowered
-	tr, err := SolveTransient(s, TransientOptions{Dt: 0.5, Steps: 30, InitialC: 80})
+	tr, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 0.5, Steps: 30, InitialC: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestTransientTimeConstantOrdering(t *testing.T) {
 	// mostly this guards that TimeToFraction plumbs through sanely.
 	const grid = 10
 	s := transientStack(40, grid)
-	steady, err := Solve(s, SolveOptions{})
+	steady, err := Solve(context.Background(), s, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := SolveTransient(s, TransientOptions{Dt: 1, Steps: 90})
+	tr, err := SolveTransient(context.Background(), s, TransientOptions{Dt: 1, Steps: 90})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestMultiDieDeeperRunsHotter(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f, err := Solve(s, SolveOptions{})
+		f, err := Solve(context.Background(), s, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+
+	"diestack/internal/obs"
 )
 
 // Workspace holds a discretized stack and its worker pool so repeated
@@ -75,30 +77,42 @@ func (w *Workspace) cycle(pool *sweepPool) float64 {
 	return math.Max(d1, math.Max(d2, d3))
 }
 
-// Solve is Solve on the reused workspace.
-func (w *Workspace) Solve(opt SolveOptions) (*Field, error) {
-	return w.SolveContext(context.Background(), opt)
-}
-
-// SolveContext computes the steady-state field, reusing the
-// workspace's discretization and worker pool. Semantics match the
-// package-level SolveContext.
-func (w *Workspace) SolveContext(ctx context.Context, opt SolveOptions) (*Field, error) {
+// Solve computes the steady-state field, reusing the workspace's
+// discretization and worker pool. Semantics match the package-level
+// Solve; the context is checked between alternating-direction cycles.
+func (w *Workspace) Solve(ctx context.Context, opt SolveOptions) (*Field, error) {
 	opt = opt.withDefaults()
 	workers, err := checkParallelism(opt.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	pool := w.poolFor(workers)
+	sp := opt.Obs.StartSpan("thermal/solve")
+	defer sp.End()
 	omega := opt.Omega
 	for attempt := 0; ; attempt++ {
 		f, err := w.solveOnce(ctx, opt, pool, omega, attempt)
 		var ce *ConvergenceError
 		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
+			opt.Obs.Counter("thermal_divergence_retries").Inc()
 			omega = dampOmega(omega)
 			continue
 		}
+		w.publishSolve(opt.Obs, f)
 		return f, err
+	}
+}
+
+// publishSolve records one finished steady solve into the registry.
+func (w *Workspace) publishSolve(reg *obs.Registry, f *Field) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("thermal_solves").Inc()
+	reg.Gauge("thermal_residual").Set(w.sv.relResidual())
+	if f != nil {
+		reg.Counter("thermal_sweeps").Add(uint64(f.sweeps))
+		reg.Gauge(obs.MetricPeakC).Set(f.Peak())
 	}
 }
 

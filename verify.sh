@@ -20,14 +20,34 @@ echo "== benchmark smoke =="
 # exercised by tests already, so the smoke stays inside internal/.
 go test -run '^$' -bench . -benchtime 1x ./internal/... >/dev/null
 
+echo "== deprecated API gate =="
+# The pre-consolidation entry points live only in deprecated.go files;
+# nothing else may call them. Checked before the smoke runs so a stray
+# call site fails fast.
+if grep -rn --include='*.go' \
+    -e 'RunContext(' -e 'SolveContext(' -e 'SolveTransientContext(' \
+    -e 'RunMemoryPerfContext(' -e 'RunFigure5Context(' \
+    -e 'RunMemoryThermalContext(' -e 'RunMemoryThermalMapContext(' \
+    -e 'RunFigure8Context(' -e 'RunLogicThermalContext(' \
+    -e 'RunFigure11Context(' -e 'RunFigure3Context(' \
+    -e 'Figure6MapsContext(' \
+    cmd internal examples *.go | grep -v '/deprecated\.go:'; then
+  echo "verify: deprecated wrappers called outside deprecated.go" >&2
+  exit 1
+fi
+
 echo "== supervised campaign smoke =="
-# A small supervised sweep: every job must finish OK and the manifest
-# must be written, exercising the harness end to end from the CLI.
+# A small supervised sweep: every job must finish OK, the manifest must
+# be written, and the -metrics-out JSONL must carry all five metric
+# families — harness end to end from the CLI, observability included.
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/stackmem -campaign -bench gauss -scale 0.05 -grid 16 \
-    -jobs 4 -retries 1 -manifest "$tmpdir/manifest.json"
+    -jobs 4 -retries 1 -manifest "$tmpdir/manifest.json" \
+    -metrics-out "$tmpdir/metrics.jsonl"
 grep -q '"status": "ok"' "$tmpdir/manifest.json"
+test -s "$tmpdir/metrics.jsonl"
+go run ./internal/obs/cmd/checksnap "$tmpdir/metrics.jsonl"
 
 echo "== checkpoint/resume smoke =="
 go run ./cmd/stackmem -checkpoint "$tmpdir/run.ckpt" -checkpoint-every 20000 \
