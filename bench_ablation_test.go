@@ -182,7 +182,7 @@ func BenchmarkAblationBankHashing(b *testing.B) {
 func BenchmarkAblationFoldGroups(b *testing.B) {
 	cfg := uarch.PlanarConfig()
 	for i := 0; i < b.N; i++ {
-		base, err := synth.RunSuite(cfg, 1, 60_000)
+		base, err := synth.RunSuite(context.Background(), cfg, 1, 60_000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func BenchmarkAblationFoldGroups(b *testing.B) {
 		lines := make([]string, 0, len(groups))
 		for _, g := range groups {
 			acc = orFold(acc, g.Fold)
-			res, err := synth.RunSuite(cfg.Apply(acc), 1, 60_000)
+			res, err := synth.RunSuite(context.Background(), cfg.Apply(acc), 1, 60_000)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -281,11 +281,11 @@ func BenchmarkAblationPredictorMode(b *testing.B) {
 		modeled.Predictor = uarch.DefaultPredictor()
 
 		gain := func(cfg uarch.Config) float64 {
-			base, err := synth.RunSuite(cfg, 1, 100_000)
+			base, err := synth.RunSuite(context.Background(), cfg, 1, 100_000)
 			if err != nil {
 				b.Fatal(err)
 			}
-			full, err := synth.RunSuite(cfg.Apply(uarch.FullFold()), 1, 100_000)
+			full, err := synth.RunSuite(context.Background(), cfg.Apply(uarch.FullFold()), 1, 100_000)
 			if err != nil {
 				b.Fatal(err)
 			}

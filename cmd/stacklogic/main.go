@@ -64,14 +64,14 @@ func main() {
 
 	spec := core.RunSpec{Seed: *seed, Grid: *grid, Parallelism: cli.Parallel, Obs: cli.Obs()}
 	if *autoOnly {
-		if err := printAutoFold(*grid); err != nil {
+		if err := printAutoFold(ctx, *grid); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	all := !*t4Only && !*t5Only && !*thermOnly
 	if *t4Only || all {
-		if err := printTable4(*seed, *insts); err != nil {
+		if err := printTable4(ctx, *seed, *insts); err != nil {
 			fatal(err)
 		}
 	}
@@ -83,7 +83,7 @@ func main() {
 	}
 	if *t5Only || all {
 		fmt.Println()
-		if err := printTable5(*grid); err != nil {
+		if err := printTable5(ctx, *grid); err != nil {
 			fatal(err)
 		}
 	}
@@ -97,8 +97,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func printTable4(seed uint64, n int) error {
-	rows, total, stagesPct, err := core.RunTable4(seed, n)
+func printTable4(ctx context.Context, seed uint64, n int) error {
+	rows, total, stagesPct, err := core.RunTable4(ctx, seed, n)
 	if err != nil {
 		return err
 	}
@@ -118,7 +118,7 @@ func printTable4(seed uint64, n int) error {
 		return err
 	}
 
-	paths, err := core.RunWireDerivation()
+	paths, err := core.RunWireDerivation(ctx)
 	if err != nil {
 		return err
 	}
@@ -127,7 +127,7 @@ func printTable4(seed uint64, n int) error {
 		fmt.Printf("  %-14s planar %d stage(s) -> 3D %d\n", p.Path, p.PlanarStages, p.FoldedStages)
 	}
 
-	saving, err := core.RunPowerDerivation()
+	saving, err := core.RunPowerDerivation(ctx)
 	if err != nil {
 		return err
 	}
@@ -186,8 +186,8 @@ func runFigure11Parallel(ctx context.Context, spec core.RunSpec, jobs int) ([]co
 	return rows, nil
 }
 
-func printTable5(grid int) error {
-	rows, err := core.RunTable5(grid)
+func printTable5(ctx context.Context, grid int) error {
+	rows, err := core.RunTable5(ctx, grid)
 	if err != nil {
 		return err
 	}
@@ -201,8 +201,8 @@ func printTable5(grid int) error {
 	return w.Flush()
 }
 
-func printAutoFold(grid int) error {
-	cmp, err := core.RunAutoFold(grid)
+func printAutoFold(ctx context.Context, grid int) error {
+	cmp, err := core.RunAutoFold(ctx, grid)
 	if err != nil {
 		return err
 	}

@@ -121,11 +121,11 @@ func inspectFile(ctx context.Context, path string) error {
 		return err
 	}
 	defer f.Close()
-	recs, err := trace.CollectContext(ctx, trace.NewReader(f), 0)
+	recs, err := trace.Collect(ctx, trace.NewReader(f), 0)
 	if err != nil {
 		return err
 	}
-	if err := trace.ValidateContext(ctx, trace.NewSliceStream(recs)); err != nil {
+	if err := trace.Validate(ctx, trace.NewSliceStream(recs)); err != nil {
 		return fmt.Errorf("trace invalid: %w", err)
 	}
 	m := workload.Summarize(recs)

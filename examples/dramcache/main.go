@@ -63,7 +63,7 @@ func main() {
 	// A 1280 x 1280 grid: ~12.5 MB input + ~12.5 MB output. Too big for
 	// 4 MB, comfortable in 32 MB.
 	recs := stencilTrace(1280, 2)
-	if err := trace.Validate(trace.NewSliceStream(recs)); err != nil {
+	if err := trace.Validate(context.Background(), trace.NewSliceStream(recs)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("custom stencil trace: %d records\n\n", len(recs))

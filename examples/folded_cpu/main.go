@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -31,7 +32,7 @@ func main() {
 		log.Fatal("profile registry is missing kernels")
 	}
 	prog := prof.Generate(7, n)
-	base, err := uarch.Run(cfg, prog)
+	base, err := uarch.Run(context.Background(), cfg, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func main() {
 	}
 	var gains []gain
 	for _, g := range synth.Table4Groups() {
-		res, err := uarch.Run(cfg.Apply(g.Fold), prog)
+		res, err := uarch.Run(context.Background(), cfg.Apply(g.Fold), prog)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func main() {
 	var acc uarch.Fold
 	for i, g := range gains {
 		acc = mergeFolds(acc, g.fold)
-		res, err := uarch.Run(cfg.Apply(acc), prog)
+		res, err := uarch.Run(context.Background(), cfg.Apply(acc), prog)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,7 +25,7 @@ const grid = 48
 func main() {
 	// Steady state: one rung at a time.
 	fmt.Println("capacity ladder (steady state):")
-	pts, err := core.RunMultiDieSweep(4, grid)
+	pts, err := core.RunMultiDieSweep(context.Background(), 4, grid)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -220,7 +220,7 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestTable4Totals(t *testing.T) {
-	rows, total, stagesPct, err := RunTable4(1, 30_000)
+	rows, total, stagesPct, err := RunTable4(context.Background(), 1, 30_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestTable4Totals(t *testing.T) {
 }
 
 func TestTable5Rows(t *testing.T) {
-	rows, err := RunTable5(testGrid)
+	rows, err := RunTable5(context.Background(), testGrid)
 	if err != nil {
 		t.Fatal(err)
 	}

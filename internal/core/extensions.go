@@ -31,7 +31,7 @@ type MultiDiePoint struct {
 // 92 W CPU plus (n-1) 64 MB DRAM dies at 6.2 W each. It quantifies the
 // thermal price of going beyond the paper's two-die limit. grid <= 0
 // selects the default resolution.
-func RunMultiDieSweep(maxDies, grid int) ([]MultiDiePoint, error) {
+func RunMultiDieSweep(ctx context.Context, maxDies, grid int) ([]MultiDiePoint, error) {
 	if maxDies < 2 {
 		return nil, fmt.Errorf("core: multi-die sweep needs maxDies >= 2, got %d", maxDies)
 	}
@@ -60,7 +60,7 @@ func RunMultiDieSweep(maxDies, grid int) ([]MultiDiePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		field, err := thermal.Solve(context.Background(), stack, thermal.SolveOptions{})
+		field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ type AutoFoldComparison struct {
 // RunAutoFold folds the planar Pentium 4-class floorplan automatically
 // and compares it with the paper's hand fold. grid <= 0 selects the
 // default resolution.
-func RunAutoFold(grid int) (AutoFoldComparison, error) {
+func RunAutoFold(ctx context.Context, grid int) (AutoFoldComparison, error) {
 	planar := floorplan.Pentium4Planar()
 	auto, err := floorplan.AutoFold(planar, floorplan.FoldOptions{
 		DensityTarget: 1.35,
@@ -116,11 +116,11 @@ func RunAutoFold(grid int) (AutoFoldComparison, error) {
 	}
 
 	var cmp AutoFoldComparison
-	cmp.Hand, err = RunLogicThermal(context.Background(), RunSpec{Grid: grid}, Logic3D)
+	cmp.Hand, err = RunLogicThermal(ctx, RunSpec{Grid: grid}, Logic3D)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}
-	field, err := solveLogicStack(context.Background(), auto, grid, 1)
+	field, err := solveLogicStack(ctx, auto, grid, 1)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}

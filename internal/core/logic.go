@@ -133,9 +133,9 @@ func RunFigure11(ctx context.Context, spec RunSpec) ([]LogicThermal, error) {
 
 // RunTable4 measures the per-functionality pipeline gains of the 3D
 // fold (Table 4). n is the per-profile instruction count.
-func RunTable4(seed uint64, n int) (rows []synth.Table4Row, totalGainPct float64, stagesPct float64, err error) {
+func RunTable4(ctx context.Context, seed uint64, n int) (rows []synth.Table4Row, totalGainPct float64, stagesPct float64, err error) {
 	cfg := uarch.PlanarConfig()
-	rows, totalGainPct, err = synth.Table4(cfg, seed, n)
+	rows, totalGainPct, err = synth.Table4(ctx, cfg, seed, n)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -147,7 +147,7 @@ func RunTable4(seed uint64, n int) (rows []synth.Table4Row, totalGainPct float64
 // measured 3D thermal response. grid <= 0 selects the default
 // resolution (the search solves the stack several times; coarser grids
 // are markedly faster).
-func RunTable5(grid int) ([]power.Point, error) {
+func RunTable5(ctx context.Context, grid int) ([]power.Point, error) {
 	laws := power.PaperLaws()
 	design := power.Pentium4ThreeDDesign()
 
@@ -160,7 +160,7 @@ func RunTable5(grid int) ([]power.Point, error) {
 	// stack determines the whole response — the bisection then costs
 	// nothing.
 	base3DPower := threeD.TotalPower()
-	ref, err := solveLogicStack(context.Background(), threeD, grid, 1)
+	ref, err := solveLogicStack(ctx, threeD, grid, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +168,7 @@ func RunTable5(grid int) ([]power.Point, error) {
 	tempAt := func(powerW float64) float64 {
 		return thermal.AmbientC + risePerWatt*powerW
 	}
-	baseline, err := RunLogicThermal(context.Background(), RunSpec{Grid: grid}, LogicPlanar)
+	baseline, err := RunLogicThermal(ctx, RunSpec{Grid: grid}, LogicPlanar)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +179,7 @@ func RunTable5(grid int) ([]power.Point, error) {
 // two floorplans through the interconnect power model: half the global
 // wire, the removed wire-stage latch banks, and a clock grid over half
 // the footprint — the components the paper lists for its 15% figure.
-func RunPowerDerivation() (wire.SavingReport, error) {
+func RunPowerDerivation(ctx context.Context) (wire.SavingReport, error) {
 	nets := append(floorplan.LoadToUseNets(),
 		floorplan.Net{A: "L2", B: "bus", Weight: 4},
 		floorplan.Net{A: "L2", B: "D$", Weight: 4},
@@ -208,7 +208,7 @@ type WirePath struct {
 // Table 4 fold. The load-to-use path loses its planar wire stage and
 // the FP register-read path loses both of its allocated cycles,
 // matching the paper's narrative for Figures 9 and 10.
-func RunWireDerivation() ([]WirePath, error) {
+func RunWireDerivation(ctx context.Context) ([]WirePath, error) {
 	tech := wire.Pentium4Era()
 	paths := [][2]string{
 		{"D$", "F"}, {"RF", "FP"}, {"RF", "SIMD"},

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the post-consolidation API shape: every exported
+// Run/Solve-family entry point in library code takes a context.Context
+// as its first parameter, and library code never manufactures its own
+// root context with context.Background or context.TODO — contexts flow
+// in from the binaries so cancellation and deadlines reach every
+// long-running loop. Package main (the binaries and examples) is
+// exempt: that is where root contexts are legitimately created.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported Run/Solve-family entry points take context.Context first; " +
+		"library code never calls context.Background or context.TODO",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	if pass.Types().Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkRunFamilySignature(pass, fd)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := contextRootCall(pass.Info(), call); ok {
+				pass.Reportf(call.Pos(),
+					"library code calls context.%s; accept a context.Context from the caller instead", name)
+			}
+			return true
+		})
+	}
+}
+
+// runFamily reports whether name is an exported Run/Solve-family entry
+// point: "Run", "Solve", or either prefix followed by an exported-style
+// word boundary ("RunSuite", "SolveTransient" — but not "Runner").
+func runFamily(name string) bool {
+	for _, prefix := range [...]string{"Run", "Solve"} {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		if rest == "" || rest[0] >= 'A' && rest[0] <= 'Z' || rest[0] >= '0' && rest[0] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRunFamilySignature reports exported Run/Solve-family functions
+// and methods whose first parameter is not a context.Context.
+func checkRunFamilySignature(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !runFamily(fd.Name.Name) {
+		return
+	}
+	// Methods on unexported types are not entry points.
+	if fd.Recv != nil {
+		if obj := pass.Info().Defs[fd.Name]; obj != nil {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if named := namedOf(sig.Recv().Type()); named != nil && !named.Obj().Exported() {
+					return
+				}
+			}
+		}
+	}
+	params := fd.Type.Params
+	if params != nil && len(params.List) > 0 {
+		if first := pass.Info().TypeOf(params.List[0].Type); first != nil && isContextType(first) {
+			return
+		}
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported %s is a Run/Solve-family entry point and must take context.Context as its first parameter",
+		fd.Name.Name)
+}
+
+// namedOf unwraps pointers to reach a named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// contextRootCall reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func contextRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := obj.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// DeprecatedCall bans every reference to an identifier whose doc
+// comment carries a "Deprecated:" paragraph, anywhere outside a file
+// named deprecated.go (the quarantine a wrapper lives in during its
+// final release). Because the check resolves identifiers through the
+// type checker it catches what the old verify.sh grep gate could not:
+// aliased functions (f := pkg.OldRun), method values, embedded
+// selections, and uses under a renamed import.
+var DeprecatedCall = &Analyzer{
+	Name: "deprecatedcall",
+	Doc: "no references to Deprecated: identifiers outside deprecated.go; " +
+		"resolves aliases and method values the grep gate missed",
+	Run: runDeprecatedCall,
+}
+
+func runDeprecatedCall(pass *Pass) {
+	for _, file := range pass.Files() {
+		filename := pass.Fset().Position(file.Pos()).Filename
+		if filepath.Base(filename) == "deprecated.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info().Uses[id]
+			if obj == nil {
+				return true
+			}
+			if note, ok := pass.Prog.Deprecated[obj]; ok {
+				pass.Reportf(id.Pos(), "reference to deprecated %s (%s)", obj.Name(), note)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simulationPackages names the packages whose outputs must be
+// bit-identical run to run: same seed, same trace, same result, on
+// every platform. internal/stats owns the seeded RNG and internal/obs
+// owns wall-clock spans; neither package name appears here, which is
+// exactly the allowlist — everything a simulation package needs from a
+// clock or a random source must come through them.
+var simulationPackages = map[string]bool{
+	"memhier":  true,
+	"thermal":  true,
+	"cache":    true,
+	"dram":     true,
+	"fault":    true,
+	"workload": true,
+	"trace":    true,
+	"dtm":      true,
+}
+
+// Determinism enforces reproducibility in the simulation packages: no
+// reading the wall clock (time.Now and friends), no global math/rand
+// (its sequence is unspecified across releases; internal/stats carries
+// the seeded xoshiro256** generator instead), and no emitting output
+// from inside a map iteration, whose order Go randomizes per run.
+// Order-independent map-loop bodies — keyed writes, commutative
+// accumulation — are allowed; appends, prints, io writes, and channel
+// sends are not. One idiom is recognized as safe: appending into a
+// slice that the same function later passes to sort (collect keys,
+// sort, then use), since sorting erases the iteration order.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "simulation packages may not read the wall clock, use math/rand, " +
+		"or emit output while ranging over a map",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !simulationPackages[pass.Types().Name()] {
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"simulation package imports %s; use the seeded generator in internal/stats instead", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := wallClockCall(pass.Info(), n); ok {
+					pass.Reportf(n.Pos(),
+						"simulation package reads the wall clock via time.%s; results must not depend on real time", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, file, n)
+			}
+			return true
+		})
+	}
+}
+
+// wallClockCall reports calls that read the real-time clock.
+func wallClockCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Now", "Since", "Until":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// checkMapRangeOutput flags order-dependent output constructs inside a
+// range over a map: Go randomizes map iteration order, so anything the
+// body appends, prints, writes, or sends lands in a different order on
+// every run. Keyed writes (out[k] = v) and commutative accumulation
+// (sum += v) are order-independent and stay legal; the fix for a real
+// finding is to sort the keys first and range over the sorted slice.
+// An append whose target is later handed to sort is the collect-then-
+// sort idiom and is not flagged.
+func checkMapRangeOutput(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.Info().TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	declaredOutside := func(e ast.Expr) bool {
+		id := baseIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := pass.Info().Uses[id]
+		if obj == nil {
+			obj = pass.Info().Defs[id]
+		}
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info(), call) || i >= len(n.Lhs) {
+					continue
+				}
+				if declaredOutside(n.Lhs[i]) && !sortedAfter(pass, file, n.Lhs[i], rng.End()) {
+					pass.Reportf(n.Pos(),
+						"append to a variable declared outside a range over a map: element order follows the randomized iteration order; sort the keys first")
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside a range over a map: delivery order follows the randomized iteration order; sort the keys first")
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass.Info(), n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside a range over a map: output order follows the randomized iteration order; sort the keys first", name)
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether the variable named by target is passed to
+// a sort.* or slices.Sort* call somewhere after pos — the tail half of
+// the collect-then-sort idiom, which makes the collection order
+// irrelevant.
+func sortedAfter(pass *Pass, file *ast.File, target ast.Expr, pos token.Pos) bool {
+	id := baseIdent(target)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info().Uses[id]
+	if obj == nil {
+		obj = pass.Info().Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		if !isSortCall(pass.Info(), call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid := baseIdent(arg); aid != nil && pass.Info().Uses[aid] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall reports calls into package sort or the slices Sort family.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(obj.Name(), "Sort")
+	}
+	return false
+}
+
+// baseIdent unwraps index and selector expressions to the root
+// identifier (out[i] -> out, s.buf -> s).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outputCall reports calls that emit ordered output: fmt printing and
+// io-style Write methods.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return "", false
+	}
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+		return "fmt." + obj.Name(), true
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if fn, isFn := obj.(*types.Func); isFn && ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return "call to " + fn.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want "regexp"` comment in a fixture.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// CheckFixture loads the fixture module at dir (its own go.mod, its
+// own deliberate violations), runs exactly one analyzer over it, and
+// verifies the diagnostics against the fixture's `// want "regexp"`
+// comments: every diagnostic must match a want on its line, and every
+// want must be matched by a diagnostic. This is how the suite tests
+// itself — an analyzer that goes quiet or noisy breaks its fixture.
+func CheckFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	prog, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := parseExpectations(prog)
+	if err != nil {
+		t.Fatalf("parsing expectations in %s: %v", dir, err)
+	}
+	diags := Analyze(prog, []*Analyzer{a})
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseExpectations scans every comment in the fixture for the
+// `// want "re" ["re" ...]` form.
+func parseExpectations(prog *Program) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for {
+						rest = strings.TrimSpace(rest)
+						if rest == "" {
+							break
+						}
+						quoted, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+						}
+						pattern, err := strconv.Unquote(quoted)
+						if err != nil {
+							return nil, fmt.Errorf("%s: %w", pos, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("%s: %w", pos, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+						rest = rest[len(quoted):]
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// wantFree asserts that the analyzer suite is clean over prog — used by
+// the end-to-end test that lints this repository itself.
+func wantFree(t *testing.T, prog *Program) {
+	t.Helper()
+	diags := Analyze(prog, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo violates its own invariant: %s", d)
+	}
+}

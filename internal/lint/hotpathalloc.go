@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotPathDirective is the annotation that opts a function into the
+// allocation check. It rides directly above the declaration:
+//
+//	//stacklint:hotpath
+//	func (s *Simulator) access(...) int64 { ... }
+//
+// Annotated functions are the ones BenchmarkReplaySteadyState pins at
+// 0 allocs/op; the static check and the benchmark cover the same set.
+const hotPathDirective = "//stacklint:hotpath"
+
+// HotPathAlloc bans allocating constructs from functions annotated
+// //stacklint:hotpath: closure literals, fmt.* calls, string<->[]byte
+// conversions (except directly inside a comparison, which the compiler
+// performs without allocating), append to a fresh slice declared with
+// no capacity hint, and boxing a non-pointer-shaped value into an
+// interface parameter. Error branches are exempt — a block whose final
+// statement returns a non-nil error is off the steady-state path the
+// benchmark measures, and may allocate to build its diagnostic.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "//stacklint:hotpath functions may not contain allocating constructs " +
+		"outside error-return branches",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+// isHotPath reports whether the declaration carries the hotpath
+// directive. Directive comments are excluded from CommentGroup.Text,
+// so the raw comment list is scanned.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info()
+	cold := coldBlocks(info, fd.Body)
+	comparisons := comparisonOperands(fd.Body)
+	fresh := freshSlices(info, fd.Body)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n != nil && cold[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hotpath function %s contains a closure literal, which allocates", fd.Name.Name)
+			return false
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, comparisons, fresh)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, comparisons map[ast.Expr]bool, fresh map[types.Object]bool) {
+	info := pass.Info()
+
+	// string <-> []byte conversion.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		if from != nil && stringBytesConversion(to, from) && !comparisons[call] {
+			pass.Reportf(call.Pos(),
+				"hotpath function %s converts %s to %s, which allocates (only comparisons are conversion-free)",
+				fd.Name.Name, from, to)
+		}
+		return
+	}
+
+	// fmt.* call.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hotpath function %s calls fmt.%s, which allocates", fd.Name.Name, obj.Name())
+			return
+		}
+	}
+
+	// append to a fresh, capacity-less slice.
+	if isBuiltinAppend(info, call) && len(call.Args) > 0 {
+		if id := baseIdent(call.Args[0]); id != nil {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj != nil && fresh[obj] {
+				pass.Reportf(call.Pos(),
+					"hotpath function %s appends to %s, a fresh slice declared without a capacity hint; preallocate with make",
+					fd.Name.Name, id.Name)
+			}
+		}
+		return
+	}
+
+	// Interface boxing of call arguments.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"hotpath function %s boxes a %s value into an interface argument, which allocates",
+			fd.Name.Name, at)
+	}
+}
+
+// coldBlocks marks the blocks exempted from the check: if/else bodies
+// and switch cases whose final statement returns a non-nil error.
+func coldBlocks(info *types.Info, body *ast.BlockStmt) map[ast.Node]bool {
+	cold := map[ast.Node]bool{}
+	markList := func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			cold[s] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if endsInErrorReturn(info, n.Body.List) {
+				cold[n.Body] = true
+			}
+			if els, ok := n.Else.(*ast.BlockStmt); ok && endsInErrorReturn(info, els.List) {
+				cold[els] = true
+			}
+		case *ast.CaseClause:
+			if endsInErrorReturn(info, n.Body) {
+				markList(n.Body)
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// endsInErrorReturn reports whether the statement list terminates by
+// returning a non-nil error (its last return value is error-typed and
+// is not the nil literal).
+func endsInErrorReturn(info *types.Info, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	t := info.TypeOf(last)
+	if t == nil {
+		return false
+	}
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return ok && types.Implements(t, errType)
+}
+
+// comparisonOperands collects the direct operands of == and !=, where
+// the compiler performs string([]byte) conversions without allocating.
+func comparisonOperands(body *ast.BlockStmt) map[ast.Expr]bool {
+	out := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op.String() {
+			case "==", "!=":
+				out[b.X] = true
+				out[b.Y] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freshSlices collects local slice variables declared with no backing
+// capacity: `var x []T`, `x := []T{}`, or `x := make([]T, 0)`. An
+// append to one of these grows from nothing and reallocates along the
+// way.
+func freshSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	record := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					record(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if capacityLessSliceExpr(info, rhs) {
+					record(id)
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// capacityLessSliceExpr reports expressions that build a slice with no
+// usable capacity: an empty composite literal or make(T, 0).
+func capacityLessSliceExpr(info *types.Info, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		t := info.TypeOf(v)
+		if t == nil {
+			return false
+		}
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice && len(v.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return false
+		}
+		if len(v.Args) != 2 {
+			return false
+		}
+		tv, ok := info.Types[v.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// paramType resolves the parameter type seen by argument i, unrolling
+// the variadic tail. A spread call (f(xs...)) passes the slice itself,
+// so boxing does not apply and nil is returned for the tail.
+func paramType(sig *types.Signature, i int, spread bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if spread {
+			return nil
+		}
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// stringBytesConversion reports a conversion crossing the string/[]byte
+// boundary in either direction.
+func stringBytesConversion(to, from types.Type) bool {
+	return isStringType(to) && isByteSlice(from) || isByteSlice(to) && isStringType(from)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// pointerShaped reports types an interface can hold without a heap
+// allocation: pointers, channels, maps, funcs, and unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerFixtures runs every analyzer against its testdata module
+// and checks the diagnostics against the fixture's // want comments in
+// both directions: nothing unexpected, nothing missing.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			CheckFixture(t, a, filepath.Join("testdata", a.Name))
+		})
+	}
+}
+
+// TestRepoIsClean lints this repository with the full suite and
+// requires zero diagnostics — the end-to-end gate that keeps verify.sh
+// and CI honest. If this test fails, the tree violates one of its own
+// invariants.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(prog.Packages) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader lost the tree", len(prog.Packages))
+	}
+	wantFree(t, prog)
+}
+
+// TestLoadSkipsFixtures ensures the loader never wanders into testdata:
+// the fixtures violate the invariants on purpose.
+func TestLoadSkipsFixtures(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, "./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("loader descended into %s", pkg.Path)
+		}
+	}
+}
+
+// TestMatchPattern pins the pattern grammar the CLI exposes.
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		rel, pat string
+		want     bool
+	}{
+		{".", "./...", true},
+		{"internal/thermal", "./...", true},
+		{"internal/thermal", "./internal/...", true},
+		{"internal", "./internal/...", true},
+		{"cmd/stackmem", "./internal/...", false},
+		{"internal/thermal", "./internal/thermal", true},
+		{"internal/thermal/sub", "./internal/thermal", false},
+		{"internalx", "./internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.rel, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.rel, c.pat, got, c.want)
+		}
+	}
+}
+
+// TestDeprecatedCollection checks that the loader records Deprecated:
+// notes on functions, methods, and constants.
+func TestDeprecatedCollection(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "deprecatedcall"), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for obj := range prog.Deprecated {
+		names[obj.Name()] = true
+	}
+	for _, want := range []string{"OldRun", "OldLimit", "OldSolve"} {
+		if !names[want] {
+			t.Errorf("deprecated set is missing %s (have %v)", want, names)
+		}
+	}
+	if names["Run"] || names["Limit"] || names["Solve"] {
+		t.Errorf("deprecated set over-collected: %v", names)
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsInstruments are the observability types whose nil-receiver no-op
+// guarantee only holds behind their methods: every method checks for a
+// nil receiver, but a field access or a value copy does not, and a
+// copied Counter tears its cache-line-padded shards apart from the
+// registry's view.
+var obsInstruments = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Registry":  true,
+	"Span":      true,
+}
+
+// ObsAccess enforces method-only access to obs instruments outside the
+// obs package itself: no struct-field selection and no dereferencing an
+// instrument pointer into a value copy. Both would bypass the nil
+// checks that make a disabled registry a free no-op, and a copy splits
+// an instrument's atomics from the registry snapshot.
+var ObsAccess = &Analyzer{
+	Name: "obsaccess",
+	Doc: "code outside internal/obs touches obs instruments only through " +
+		"methods, never fields or value copies",
+	Run: runObsAccess,
+}
+
+func runObsAccess(pass *Pass) {
+	if pass.Types().Name() == "obs" {
+		return
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info().Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if name, ok := obsInstrument(sel.Recv()); ok {
+					pass.Reportf(n.Sel.Pos(),
+						"field access on obs.%s bypasses the nil-registry no-op guarantee; use its methods", name)
+				}
+			case *ast.StarExpr:
+				t := pass.Info().TypeOf(n.X)
+				ptr, ok := t.(*types.Pointer)
+				if !ok {
+					return true
+				}
+				if name, ok := obsInstrument(ptr.Elem()); ok {
+					pass.Reportf(n.Pos(),
+						"dereferencing a *obs.%s copies the instrument; pass the pointer instead", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// obsInstrument reports whether t is (or points to) one of the obs
+// instrument types, identified by type name within a package named
+// "obs" so fixtures can model the real package.
+func obsInstrument(t types.Type) (string, bool) {
+	named := namedOf(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return "", false
+	}
+	if obsInstruments[obj.Name()] {
+		return obj.Name(), true
+	}
+	return "", false
+}

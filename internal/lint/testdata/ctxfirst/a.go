@@ -1,0 +1,49 @@
+// Package sim is the ctxfirst fixture: a library package whose
+// Run/Solve-family entry points must be context-first and which must
+// never manufacture root contexts.
+package sim
+
+import "context"
+
+// RunSweep is missing its context entirely.
+func RunSweep(n int) error { // want "RunSweep is a Run/Solve-family entry point and must take context.Context"
+	return nil
+}
+
+// SolveGrid has a context in the wrong position.
+func SolveGrid(n int, ctx context.Context) error { // want "SolveGrid is a Run/Solve-family entry point and must take context.Context"
+	return ctx.Err()
+}
+
+// Run is compliant.
+func Run(ctx context.Context, n int) error { return ctx.Err() }
+
+// SolveTransient is compliant.
+func SolveTransient(ctx context.Context) error { return ctx.Err() }
+
+// Runner is not Run-family: the prefix is followed by a lowercase
+// letter, so the word is "Runner", not "Run".
+func Runner(n int) int { return n }
+
+// runSweep is unexported and therefore not an entry point.
+func runSweep(n int) int { return n }
+
+func helper() error {
+	ctx := context.Background() // want "context.Background"
+	_ = context.TODO()          // want "context.TODO"
+	return ctx.Err()
+}
+
+// Solver is an exported type; its Run method is an entry point.
+type Solver struct{}
+
+// Run must be context-first on exported receivers too.
+func (Solver) Run(n int) int { return n } // want "Run is a Run/Solve-family entry point and must take context.Context"
+
+// Solve is compliant.
+func (Solver) Solve(ctx context.Context) error { return ctx.Err() }
+
+type inner struct{}
+
+// Run on an unexported receiver is not an entry point.
+func (inner) Run(n int) int { return n }

@@ -1,0 +1,12 @@
+// Command main is exempt: binaries are where root contexts come from.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// RunEverything in package main needs no context parameter.
+func RunEverything(n int) int { return n }

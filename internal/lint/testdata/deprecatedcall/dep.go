@@ -1,0 +1,31 @@
+// Package fix is the deprecatedcall fixture: declarations carrying
+// Deprecated: notes, with call sites, aliases, and method values that
+// the analyzer must catch everywhere except deprecated.go.
+package fix
+
+// OldRun is the pre-consolidation entry point.
+//
+// Deprecated: call Run instead.
+func OldRun() int { return Run() }
+
+// Run is the current entry point.
+func Run() int { return 1 }
+
+// OldLimit is kept for one release.
+//
+// Deprecated: use Limit.
+const OldLimit = 2
+
+// Limit is the current constant.
+const Limit = 3
+
+// S carries one deprecated and one current method.
+type S struct{}
+
+// OldSolve is the pre-consolidation method.
+//
+// Deprecated: call Solve instead.
+func (S) OldSolve() int { return 4 }
+
+// Solve is the current method.
+func (S) Solve() int { return 5 }

@@ -1,0 +1,8 @@
+package fix
+
+// quarantined may call the wrappers: deprecated.go is where they live
+// out their final release.
+func quarantined() int {
+	var s S
+	return OldRun() + OldLimit + s.OldSolve()
+}

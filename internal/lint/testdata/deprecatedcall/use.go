@@ -1,0 +1,30 @@
+package fix
+
+// direct calls the wrapper head-on — what the old grep gate caught.
+func direct() int {
+	return OldRun() // want "deprecated OldRun"
+}
+
+// aliased takes a function value first — what the grep gate missed.
+func aliased() int {
+	f := OldRun // want "deprecated OldRun"
+	return f()
+}
+
+// methodValue binds the deprecated method through a receiver.
+func methodValue() int {
+	var s S
+	m := s.OldSolve // want "deprecated OldSolve"
+	return m()
+}
+
+// constant references are caught too.
+func constant() int {
+	return OldLimit // want "deprecated OldLimit"
+}
+
+// clean uses only current API.
+func clean() int {
+	var s S
+	return Run() + Limit + s.Solve()
+}

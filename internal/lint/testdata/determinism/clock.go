@@ -1,0 +1,16 @@
+// Package thermal is the determinism fixture, named after one of the
+// simulation packages so the analyzer applies.
+package thermal
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+// duration arithmetic without reading the clock is fine.
+func scale(d time.Duration) time.Duration { return 2 * d }

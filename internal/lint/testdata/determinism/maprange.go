@@ -1,0 +1,78 @@
+package thermal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ids appends in map-iteration order: a different slice every run.
+func ids(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append to a variable declared outside"
+	}
+	return out
+}
+
+// sum is commutative accumulation: order-independent, allowed.
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyed writes land at the same keys regardless of order, allowed.
+func keyed(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// localAppend builds and discards a slice per iteration: allowed.
+func localAppend(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		pair := []int{}
+		pair = append(pair, vs...)
+		n += len(pair)
+	}
+	return n
+}
+
+// sortedIDs is the collect-then-sort idiom: the append order is random
+// but the sort erases it, so the result is deterministic. Allowed.
+func sortedIDs(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dump prints in map-iteration order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf"
+	}
+}
+
+// feed sends in map-iteration order.
+func feed(ch chan<- int, m map[int]int) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+// sortedEmit is the sanctioned pattern: collect keys, sort elsewhere,
+// then range over the slice.
+func sortedEmit(w io.Writer, keys []string, m map[string]int) {
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,8 @@
+// Package other is not a simulation package: the determinism rules do
+// not apply here.
+package other
+
+import "time"
+
+// Stamp may read the clock freely.
+func Stamp() int64 { return time.Now().UnixNano() }

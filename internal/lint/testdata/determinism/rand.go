@@ -1,0 +1,5 @@
+package thermal
+
+import "math/rand" // want "math/rand"
+
+func roll() int { return rand.Intn(6) }

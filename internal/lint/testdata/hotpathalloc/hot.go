@@ -1,0 +1,91 @@
+// Package fix is the hotpathalloc fixture: annotated functions with
+// each banned allocating construct, plus the sanctioned alternatives.
+package fix
+
+import "fmt"
+
+func sink(v any) {}
+
+type point struct{ x, y int }
+
+//stacklint:hotpath
+func hotClosure(n int) int {
+	f := func() int { return n } // want "closure"
+	return f()
+}
+
+//stacklint:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf"
+}
+
+//stacklint:hotpath
+func hotConvert(b []byte) string {
+	return string(b) // want "converts"
+}
+
+//stacklint:hotpath
+func hotConvertBack(s string) []byte {
+	return []byte(s) // want "converts"
+}
+
+// hotCompare converts only inside a comparison, which the compiler
+// performs without allocating.
+//
+//stacklint:hotpath
+func hotCompare(b []byte) bool {
+	return string(b) == "magic"
+}
+
+//stacklint:hotpath
+func hotAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "capacity hint"
+	}
+	return out
+}
+
+// hotHinted preallocates, so its append never regrows.
+//
+//stacklint:hotpath
+func hotHinted(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//stacklint:hotpath
+func hotBox(p point) {
+	sink(p) // want "boxes"
+}
+
+// hotNoBox passes a pointer, which an interface holds without
+// allocating.
+//
+//stacklint:hotpath
+func hotNoBox(p *point) {
+	sink(p)
+}
+
+// hotColdPath may allocate on its error branch: a block that returns a
+// non-nil error is off the steady-state path.
+//
+//stacklint:hotpath
+func hotColdPath(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative %d", n)
+	}
+	switch {
+	case n > 1<<20:
+		return 0, fmt.Errorf("out of range: %d", n) // cold: case ends in error return
+	}
+	return n * 2, nil
+}
+
+// unannotated functions may allocate freely.
+func cold(n int) string {
+	return fmt.Sprint(n)
+}

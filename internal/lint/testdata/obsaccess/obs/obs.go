@@ -1,0 +1,51 @@
+// Package obs is the fixture twin of the real observability package:
+// same type names, same nil-receiver method contract, with fields left
+// exported so the consumer package can try to touch them.
+package obs
+
+// Counter is a monotonically increasing instrument.
+type Counter struct {
+	// N is the raw count; outside this package only Inc/Value may
+	// touch it.
+	N uint64
+}
+
+// Inc increments the counter; a no-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.N++
+}
+
+// Value reads the counter; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.N
+}
+
+// Registry names and owns instruments.
+type Registry struct {
+	// Counters is the instrument table; outside this package only
+	// Counter may touch it.
+	Counters map[string]*Counter
+}
+
+// Counter returns the named counter, creating it on first use; nil on
+// a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if r.Counters == nil {
+		r.Counters = map[string]*Counter{}
+	}
+	c := r.Counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.Counters[name] = c
+	}
+	return c
+}

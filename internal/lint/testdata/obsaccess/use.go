@@ -1,0 +1,28 @@
+// Package fix is the obsaccess fixture's consumer: it must reach obs
+// instruments only through their methods.
+package fix
+
+import "fix/obs"
+
+func bump(c *obs.Counter) uint64 {
+	c.Inc() // ok: method call
+	c.N++   // want "field access on obs.Counter"
+	v := *c // want "copies the instrument"
+	_ = v
+	return c.Value() // ok: method call
+}
+
+func lookup(r *obs.Registry) *obs.Counter {
+	good := r.Counter("replay") // ok: method call
+	_ = good
+	return r.Counters["replay"] // want "field access on obs.Registry"
+}
+
+// holder keeps a pointer, the sanctioned shape for an instrument field.
+type holder struct {
+	hits *obs.Counter
+}
+
+func (h *holder) observe() {
+	h.hits.Inc()
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -46,7 +47,7 @@ func BenchmarkReaderThroughput(b *testing.B) {
 	data := buf.Bytes()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got, err := Collect(NewReader(bytes.NewReader(data)), 0)
+		got, err := Collect(context.Background(), NewReader(bytes.NewReader(data)), 0)
 		if err != nil || len(got) != len(recs) {
 			b.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"diestack/internal/trace"
@@ -29,7 +30,7 @@ func ExampleWriter() {
 		return
 	}
 
-	got, err := trace.Collect(trace.NewReader(&buf), 0)
+	got, err := trace.Collect(context.Background(), trace.NewReader(&buf), 0)
 	if err != nil {
 		fmt.Println(err)
 		return

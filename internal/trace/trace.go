@@ -103,6 +103,8 @@ func NewSliceStream(recs []Record) *SliceStream {
 }
 
 // Next implements Stream.
+//
+//stacklint:hotpath
 func (s *SliceStream) Next() (Record, error) {
 	if s.pos >= len(s.recs) {
 		return Record{}, io.EOF
@@ -119,16 +121,11 @@ func (s *SliceStream) Reset() { s.pos = 0 }
 func (s *SliceStream) Len() int { return len(s.recs) }
 
 // Collect drains a stream into a slice, up to max records (max <= 0
-// means unlimited).
-func Collect(s Stream, max int) ([]Record, error) {
-	return CollectContext(context.Background(), s, max)
-}
-
-// CollectContext is Collect with cooperative cancellation, checked
-// every few thousand records. The result slice is sized up front when
-// the record count is knowable — from max, or from the stream itself
-// when it exposes Len() — so collection does not re-grow.
-func CollectContext(ctx context.Context, s Stream, max int) ([]Record, error) {
+// means unlimited), with cooperative cancellation checked every few
+// thousand records. The result slice is sized up front when the record
+// count is knowable — from max, or from the stream itself when it
+// exposes Len() — so collection does not re-grow.
+func Collect(ctx context.Context, s Stream, max int) ([]Record, error) {
 	hint := 0
 	if l, ok := s.(interface{ Len() int }); ok {
 		hint = l.Len()
@@ -166,14 +163,9 @@ var (
 
 // Validate checks the structural invariants of a record sequence:
 // strictly increasing ids and dependencies that point strictly
-// backwards to ids that exist. It reads the whole stream.
-func Validate(s Stream) error {
-	return ValidateContext(context.Background(), s)
-}
-
-// ValidateContext is Validate with cooperative cancellation, checked
-// every few thousand records.
-func ValidateContext(ctx context.Context, s Stream) error {
+// backwards to ids that exist. It reads the whole stream, with
+// cooperative cancellation checked every few thousand records.
+func Validate(ctx context.Context, s Stream) error {
 	seen := make(map[uint64]struct{})
 	first := true
 	var prev uint64
@@ -231,6 +223,8 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // Write appends one record.
+//
+//stacklint:hotpath
 func (tw *Writer) Write(r Record) error {
 	if tw.closed {
 		return errors.New("trace: write after Flush")
@@ -297,6 +291,8 @@ func NewReader(r io.Reader) *Reader {
 }
 
 // Next implements Stream.
+//
+//stacklint:hotpath
 func (tr *Reader) Next() (Record, error) {
 	if !tr.header {
 		var hdr [5]byte

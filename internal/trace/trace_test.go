@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -67,25 +68,25 @@ func TestSliceStream(t *testing.T) {
 }
 
 func TestCollectMax(t *testing.T) {
-	recs, err := Collect(NewSliceStream(sample()), 3)
+	recs, err := Collect(context.Background(), NewSliceStream(sample()), 3)
 	if err != nil || len(recs) != 3 {
 		t.Fatalf("Collect(3) = %d records, err=%v", len(recs), err)
 	}
-	recs, err = Collect(NewSliceStream(sample()), 0)
+	recs, err = Collect(context.Background(), NewSliceStream(sample()), 0)
 	if err != nil || len(recs) != 5 {
 		t.Fatalf("Collect(0) = %d records, err=%v", len(recs), err)
 	}
 }
 
 func TestValidateGood(t *testing.T) {
-	if err := Validate(NewSliceStream(sample())); err != nil {
+	if err := Validate(context.Background(), NewSliceStream(sample())); err != nil {
 		t.Fatalf("valid trace rejected: %v", err)
 	}
 }
 
 func TestValidateNonMonotonic(t *testing.T) {
 	recs := []Record{{ID: 1, Dep: NoDep}, {ID: 1, Dep: NoDep}}
-	err := Validate(NewSliceStream(recs))
+	err := Validate(context.Background(), NewSliceStream(recs))
 	if !errors.Is(err, ErrNonMonotonicID) {
 		t.Fatalf("err = %v, want ErrNonMonotonicID", err)
 	}
@@ -93,7 +94,7 @@ func TestValidateNonMonotonic(t *testing.T) {
 
 func TestValidateForwardDep(t *testing.T) {
 	recs := []Record{{ID: 0, Dep: NoDep}, {ID: 1, Dep: 1}}
-	err := Validate(NewSliceStream(recs))
+	err := Validate(context.Background(), NewSliceStream(recs))
 	if !errors.Is(err, ErrForwardDep) {
 		t.Fatalf("err = %v, want ErrForwardDep", err)
 	}
@@ -101,7 +102,7 @@ func TestValidateForwardDep(t *testing.T) {
 
 func TestValidateUnknownDep(t *testing.T) {
 	recs := []Record{{ID: 5, Dep: NoDep}, {ID: 9, Dep: 7}}
-	err := Validate(NewSliceStream(recs))
+	err := Validate(context.Background(), NewSliceStream(recs))
 	if !errors.Is(err, ErrUnknownDep) {
 		t.Fatalf("err = %v, want ErrUnknownDep", err)
 	}
@@ -121,7 +122,7 @@ func TestRoundTrip(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Collect(NewReader(&buf), 0)
+	got, err := Collect(context.Background(), NewReader(&buf), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRoundTripQuick(t *testing.T) {
 		if w.Flush() != nil {
 			return false
 		}
-		got, err := Collect(NewReader(&buf), 0)
+		got, err := Collect(context.Background(), NewReader(&buf), 0)
 		if err != nil || len(got) != n {
 			return false
 		}
@@ -184,7 +185,7 @@ func TestEmptyTraceRoundTrip(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Collect(NewReader(&buf), 0)
+	got, err := Collect(context.Background(), NewReader(&buf), 0)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty trace: %d records, err=%v", len(got), err)
 	}

@@ -1,6 +1,9 @@
 package uarch
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func BenchmarkRunMixed(b *testing.B) {
 	prog := make([]Inst, 100_000)
@@ -21,7 +24,7 @@ func BenchmarkRunMixed(b *testing.B) {
 	cfg := PlanarConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(cfg, prog); err != nil {
+		if _, err := Run(context.Background(), cfg, prog); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package uarch_test
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/uarch"
@@ -14,8 +15,8 @@ func ExampleConfig_Apply() {
 	for i := range prog {
 		prog[i] = uarch.Inst{Op: uarch.OpFP, Dep1: 1} // serial FP chain
 	}
-	base, _ := uarch.Run(cfg, prog)
-	folded, _ := uarch.Run(cfg.Apply(uarch.Fold{FPLatency: true}), prog)
+	base, _ := uarch.Run(context.Background(), cfg, prog)
+	folded, _ := uarch.Run(context.Background(), cfg.Apply(uarch.Fold{FPLatency: true}), prog)
 	fmt.Printf("planar IPC %.3f, folded IPC %.3f\n", base.IPC, folded.IPC)
 	// Output:
 	// planar IPC 0.125, folded IPC 0.167

@@ -1,6 +1,9 @@
 package uarch
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // branchProg builds an all-branch program whose direction comes from
 // pattern(i); PCs cycle over nPCs static branches.
@@ -48,7 +51,7 @@ func TestPredictorConfigValidate(t *testing.T) {
 func TestPredictorLearnsBias(t *testing.T) {
 	// Strongly biased branches: after warmup nearly everything is
 	// predicted correctly.
-	res, err := Run(predictorCfg(), branchProg(50_000, 16, func(i int) bool { return true }))
+	res, err := Run(context.Background(), predictorCfg(), branchProg(50_000, 16, func(i int) bool { return true }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +63,7 @@ func TestPredictorLearnsBias(t *testing.T) {
 
 func TestPredictorLearnsPattern(t *testing.T) {
 	// A short repeating pattern is captured by the global history.
-	res, err := Run(predictorCfg(), branchProg(50_000, 4, func(i int) bool { return i%3 == 0 }))
+	res, err := Run(context.Background(), predictorCfg(), branchProg(50_000, 4, func(i int) bool { return i%3 == 0 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +77,7 @@ func TestPredictorStrugglesOnNoise(t *testing.T) {
 	// Pseudo-random directions defeat any predictor: the rate must be
 	// far above the patterned case.
 	lcg := uint32(12345)
-	res, err := Run(predictorCfg(), branchProg(50_000, 64, func(i int) bool {
+	res, err := Run(context.Background(), predictorCfg(), branchProg(50_000, 64, func(i int) bool {
 		lcg = lcg*1664525 + 1013904223
 		return lcg&0x80000000 != 0
 	}))
@@ -93,7 +96,7 @@ func TestPredictorModeIgnoresAnnotations(t *testing.T) {
 	for i := range prog {
 		prog[i].Mispredicted = true // would redirect on every branch
 	}
-	res, err := Run(predictorCfg(), prog)
+	res, err := Run(context.Background(), predictorCfg(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +104,7 @@ func TestPredictorModeIgnoresAnnotations(t *testing.T) {
 		t.Fatalf("annotations leaked into predictor mode: %d mispredicts", res.Mispredicts)
 	}
 	// And vice versa: annotated mode ignores PC/Taken.
-	annotated, err := Run(PlanarConfig(), prog)
+	annotated, err := Run(context.Background(), PlanarConfig(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}

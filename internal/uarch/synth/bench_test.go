@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"diestack/internal/uarch"
@@ -20,7 +21,7 @@ func BenchmarkGenerateProfile(b *testing.B) {
 func BenchmarkRunSuite(b *testing.B) {
 	cfg := uarch.PlanarConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSuite(cfg, 1, 20_000); err != nil {
+		if _, err := RunSuite(context.Background(), cfg, 1, 20_000); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"diestack/internal/uarch"
@@ -17,7 +18,7 @@ type SuiteResult struct {
 // RunSuite executes every profile on the pipeline configuration and
 // returns the weighted aggregate (the stand-in for the paper's 650+
 // trace average). n is the per-profile instruction count.
-func RunSuite(cfg uarch.Config, seed uint64, n int) (SuiteResult, error) {
+func RunSuite(ctx context.Context, cfg uarch.Config, seed uint64, n int) (SuiteResult, error) {
 	profiles := Profiles()
 	out := SuiteResult{PerProfile: make([]uarch.Result, len(profiles))}
 	sumW := 0.0
@@ -25,7 +26,7 @@ func RunSuite(cfg uarch.Config, seed uint64, n int) (SuiteResult, error) {
 		if err := p.Validate(); err != nil {
 			return SuiteResult{}, err
 		}
-		res, err := uarch.Run(cfg, p.Generate(seed, n))
+		res, err := uarch.Run(ctx, cfg, p.Generate(seed, n))
 		if err != nil {
 			return SuiteResult{}, fmt.Errorf("synth: %s: %w", p.Name, err)
 		}
@@ -76,13 +77,13 @@ type Table4Row struct {
 // Table4 measures the per-group and total performance gains of the 3D
 // fold, reproducing the paper's Table 4. n is the per-profile
 // instruction count (100k is enough for stable percentages).
-func Table4(cfg uarch.Config, seed uint64, n int) (rows []Table4Row, totalGainPct float64, err error) {
-	base, err := RunSuite(cfg, seed, n)
+func Table4(ctx context.Context, cfg uarch.Config, seed uint64, n int) (rows []Table4Row, totalGainPct float64, err error) {
+	base, err := RunSuite(ctx, cfg, seed, n)
 	if err != nil {
 		return nil, 0, err
 	}
 	for _, g := range Table4Groups() {
-		folded, err := RunSuite(cfg.Apply(g.Fold), seed, n)
+		folded, err := RunSuite(ctx, cfg.Apply(g.Fold), seed, n)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -101,7 +102,7 @@ func Table4(cfg uarch.Config, seed uint64, n int) (rows []Table4Row, totalGainPc
 			PaperGainPct:   g.PaperGainPct,
 		})
 	}
-	full, err := RunSuite(cfg.Apply(uarch.FullFold()), seed, n)
+	full, err := RunSuite(ctx, cfg.Apply(uarch.FullFold()), seed, n)
 	if err != nil {
 		return nil, 0, err
 	}

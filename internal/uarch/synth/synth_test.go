@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestGeneratedDepsAreBackwards(t *testing.T) {
 }
 
 func TestRunSuite(t *testing.T) {
-	res, err := RunSuite(uarch.PlanarConfig(), 1, 20_000)
+	res, err := RunSuite(context.Background(), uarch.PlanarConfig(), 1, 20_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunSuite(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	rows, total, err := Table4(uarch.PlanarConfig(), 1, 60_000)
+	rows, total, err := Table4(context.Background(), uarch.PlanarConfig(), 1, 60_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestTable4StagePercents(t *testing.T) {
-	rows, _, err := Table4(uarch.PlanarConfig(), 1, 5_000)
+	rows, _, err := Table4(context.Background(), uarch.PlanarConfig(), 1, 5_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestPredictorModeSuite(t *testing.T) {
 	// branches dominate, so well under 20%, but noise keeps it > 0).
 	cfg := uarch.PlanarConfig()
 	cfg.Predictor = uarch.DefaultPredictor()
-	res, err := RunSuite(cfg, 1, 30_000)
+	res, err := RunSuite(context.Background(), cfg, 1, 30_000)
 	if err != nil {
 		t.Fatal(err)
 	}

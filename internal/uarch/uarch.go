@@ -14,7 +14,10 @@
 // produces the paper's IPC gains.
 package uarch
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // OpType classifies instructions for the timing model.
 type OpType uint8
@@ -296,8 +299,9 @@ type Result struct {
 }
 
 // Run executes the program on the configured pipeline and returns its
-// timing. The model is deterministic.
-func Run(cfg Config, prog []Inst) (Result, error) {
+// timing, with cooperative cancellation checked every few thousand
+// instructions. The model is deterministic.
+func Run(ctx context.Context, cfg Config, prog []Inst) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -332,6 +336,11 @@ func Run(cfg Config, prog []Inst) (Result, error) {
 	}
 
 	for i := 0; i < n; i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("uarch: canceled at instruction %d: %w", i, err)
+			}
+		}
 		in := prog[i]
 
 		// Fetch: width-limited, in order, after any pending redirect.

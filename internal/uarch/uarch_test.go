@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -49,7 +50,7 @@ func TestOpTypeString(t *testing.T) {
 }
 
 func TestEmptyProgram(t *testing.T) {
-	res, err := Run(PlanarConfig(), nil)
+	res, err := Run(context.Background(), PlanarConfig(), nil)
 	if err != nil || res.Insts != 0 {
 		t.Fatalf("empty program: %+v, %v", res, err)
 	}
@@ -58,7 +59,7 @@ func TestEmptyProgram(t *testing.T) {
 func TestRunRejectsBadConfig(t *testing.T) {
 	cfg := PlanarConfig()
 	cfg.ROBSize = -1
-	if _, err := Run(cfg, intProg(10, 0)); err == nil {
+	if _, err := Run(context.Background(), cfg, intProg(10, 0)); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
@@ -66,11 +67,11 @@ func TestRunRejectsBadConfig(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	cfg := PlanarConfig()
 	p := intProg(5000, 1)
-	a, err := Run(cfg, p)
+	a, err := Run(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := Run(cfg, p)
+	b, _ := Run(context.Background(), cfg, p)
 	if a != b {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}
@@ -78,7 +79,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestIndependentIntThroughput(t *testing.T) {
 	cfg := PlanarConfig()
-	res, err := Run(cfg, intProg(30000, 0))
+	res, err := Run(context.Background(), cfg, intProg(30000, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestIndependentIntThroughput(t *testing.T) {
 
 func TestSerialChainThroughput(t *testing.T) {
 	cfg := PlanarConfig()
-	res, err := Run(cfg, intProg(30000, 1))
+	res, err := Run(context.Background(), cfg, intProg(30000, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFPChainBoundByLatency(t *testing.T) {
 	for i := range prog {
 		prog[i] = Inst{Op: OpFP, Dep1: 1}
 	}
-	res, err := Run(cfg, prog)
+	res, err := Run(context.Background(), cfg, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFPChainBoundByLatency(t *testing.T) {
 	}
 	// Folding the FP wire stages speeds the chain up by the latency
 	// ratio.
-	folded, _ := Run(cfg.Apply(Fold{FPLatency: true}), prog)
+	folded, _ := Run(context.Background(), cfg.Apply(Fold{FPLatency: true}), prog)
 	ratio := folded.IPC / res.IPC
 	wantRatio := float64(cfg.FPLatency) / float64(cfg.FPLatency-2)
 	if ratio < wantRatio*0.95 || ratio > wantRatio*1.05 {
@@ -135,11 +136,11 @@ func TestMispredictPenalty(t *testing.T) {
 		clean[i] = Inst{Op: OpBranch}
 		dirty[i] = Inst{Op: OpBranch, Mispredicted: i%50 == 0}
 	}
-	a, err := Run(cfg, clean)
+	a, err := Run(context.Background(), cfg, clean)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, dirty)
+	b, err := Run(context.Background(), cfg, dirty)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestLoadClasses(t *testing.T) {
 		{Op: OpLoad, Mem: MemL2},
 		{Op: OpLoad, Mem: MemMain},
 	}
-	res, err := Run(cfg, prog)
+	res, err := Run(context.Background(), cfg, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestMemLoadDominatesChain(t *testing.T) {
 			prog[i] = Inst{Op: OpInt, Dep1: 1}
 		}
 	}
-	res, err := Run(cfg, prog)
+	res, err := Run(context.Background(), cfg, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +200,11 @@ func TestStoreLifetimePressure(t *testing.T) {
 	for i := range prog {
 		prog[i] = Inst{Op: OpStore}
 	}
-	base, err := Run(cfg, prog)
+	base, err := Run(context.Background(), cfg, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	folded, err := Run(cfg.Apply(Fold{StoreLife: true}), prog)
+	folded, err := Run(context.Background(), cfg.Apply(Fold{StoreLife: true}), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestEveryFoldHelpsOrIsNeutral(t *testing.T) {
 			prog[i] = Inst{Op: OpSIMD, Dep1: 4}
 		}
 	}
-	base, err := Run(cfg, prog)
+	base, err := Run(context.Background(), cfg, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestEveryFoldHelpsOrIsNeutral(t *testing.T) {
 	}
 	var best float64
 	for _, f := range folds {
-		res, err := Run(cfg.Apply(f), prog)
+		res, err := Run(context.Background(), cfg.Apply(f), prog)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +255,7 @@ func TestEveryFoldHelpsOrIsNeutral(t *testing.T) {
 			best = res.IPC
 		}
 	}
-	full, _ := Run(cfg.Apply(FullFold()), prog)
+	full, _ := Run(context.Background(), cfg.Apply(FullFold()), prog)
 	if full.IPC < best-1e-9 {
 		t.Errorf("full fold %.4f below best single fold %.4f", full.IPC, best)
 	}
@@ -296,7 +297,7 @@ func TestIPCBoundsQuick(t *testing.T) {
 				prog[i].Mem = MemClass(o % 3)
 			}
 		}
-		res, err := Run(cfg, prog)
+		res, err := Run(context.Background(), cfg, prog)
 		if err != nil {
 			return false
 		}

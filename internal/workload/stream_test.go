@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -17,7 +18,7 @@ func TestRepeatStreamRebasesIDs(t *testing.T) {
 	if s.Len() != 6 {
 		t.Fatalf("Len = %d", s.Len())
 	}
-	got, err := trace.Collect(s, 0)
+	got, err := trace.Collect(context.Background(), s, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestRepeatStreamRebasesIDs(t *testing.T) {
 		t.Fatalf("collected %d", len(got))
 	}
 	// IDs strictly increase and deps stay backwards across passes.
-	if err := trace.Validate(trace.NewSliceStream(got)); err != nil {
+	if err := trace.Validate(context.Background(), trace.NewSliceStream(got)); err != nil {
 		t.Fatal(err)
 	}
 	if got[3].ID != 3 || got[3].Dep != 2 {
@@ -53,14 +54,14 @@ func TestStreamDrivesLongReplay(t *testing.T) {
 	// A small benchmark repeated several times validates end to end.
 	b, _ := ByName("sSym")
 	s := Stream(b, 1, 0.1, 4)
-	got, err := trace.Collect(s, 0)
+	got, err := trace.Collect(context.Background(), s, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != s.Len() {
 		t.Fatalf("collected %d, want %d", len(got), s.Len())
 	}
-	if err := trace.Validate(trace.NewSliceStream(got)); err != nil {
+	if err := trace.Validate(context.Background(), trace.NewSliceStream(got)); err != nil {
 		t.Fatal(err)
 	}
 	// Repetition preserves the footprint: same lines, more passes.

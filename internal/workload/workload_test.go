@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"diestack/internal/trace"
@@ -46,7 +47,7 @@ func TestTracesValidate(t *testing.T) {
 			if len(recs) == 0 {
 				t.Fatal("empty trace")
 			}
-			if err := trace.Validate(trace.NewSliceStream(recs)); err != nil {
+			if err := trace.Validate(context.Background(), trace.NewSliceStream(recs)); err != nil {
 				t.Fatalf("invalid trace: %v", err)
 			}
 		})
@@ -151,7 +152,7 @@ func TestInterleaveRemapsDeps(t *testing.T) {
 	if out[3].Dep != 1 {
 		t.Errorf("thread1 dep remap: got %d, want 1", out[3].Dep)
 	}
-	if err := trace.Validate(trace.NewSliceStream(out)); err != nil {
+	if err := trace.Validate(context.Background(), trace.NewSliceStream(out)); err != nil {
 		t.Fatalf("interleaved trace invalid: %v", err)
 	}
 }
@@ -165,7 +166,7 @@ func TestInterleaveUnevenLengths(t *testing.T) {
 	if len(out) != 4 {
 		t.Fatalf("len = %d", len(out))
 	}
-	if err := trace.Validate(trace.NewSliceStream(out)); err != nil {
+	if err := trace.Validate(context.Background(), trace.NewSliceStream(out)); err != nil {
 		t.Fatalf("uneven interleave invalid: %v", err)
 	}
 }

@@ -7,6 +7,12 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== stacklint =="
+# The repo's own analyzer suite: context-first entry points, no
+# deprecated references, deterministic simulation packages, annotated
+# hot paths allocation-free, obs instruments touched only via methods.
+go run ./cmd/stacklint ./...
+
 echo "== go build =="
 go build ./...
 
@@ -19,22 +25,6 @@ echo "== benchmark smoke =="
 # root-package figure benchmarks replay paper-scale workloads and are
 # exercised by tests already, so the smoke stays inside internal/.
 go test -run '^$' -bench . -benchtime 1x ./internal/... >/dev/null
-
-echo "== deprecated API gate =="
-# The pre-consolidation entry points live only in deprecated.go files;
-# nothing else may call them. Checked before the smoke runs so a stray
-# call site fails fast.
-if grep -rn --include='*.go' \
-    -e 'RunContext(' -e 'SolveContext(' -e 'SolveTransientContext(' \
-    -e 'RunMemoryPerfContext(' -e 'RunFigure5Context(' \
-    -e 'RunMemoryThermalContext(' -e 'RunMemoryThermalMapContext(' \
-    -e 'RunFigure8Context(' -e 'RunLogicThermalContext(' \
-    -e 'RunFigure11Context(' -e 'RunFigure3Context(' \
-    -e 'Figure6MapsContext(' \
-    cmd internal examples *.go | grep -v '/deprecated\.go:'; then
-  echo "verify: deprecated wrappers called outside deprecated.go" >&2
-  exit 1
-fi
 
 echo "== supervised campaign smoke =="
 # A small supervised sweep: every job must finish OK, the manifest must
