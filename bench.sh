@@ -1,15 +1,18 @@
 #!/bin/sh
 # bench.sh — run the headline benchmarks with -benchmem and write the
-# machine-readable baseline (BENCH_003.json by default): benchmark
+# machine-readable baseline (BENCH_004.json by default): benchmark
 # name -> ns/op and allocs/op, plus the two headline metrics — the
 # Solve64 serial/parallel-8 ratio and the steady-state replay
 # allocs/op. Committed baselines from this script are how perf PRs
-# prove their before/after claims.
+# prove their before/after claims. The baseline name recorded inside
+# the JSON is derived from the output filename, so each capture is
+# self-identifying.
 #
 # Usage: ./bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")"
-out=${1:-BENCH_003.json}
+out=${1:-BENCH_004.json}
+baseline=$(basename "$out" .json)
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -20,7 +23,7 @@ go test -run '^$' -benchmem -benchtime 2s \
     -bench 'BenchmarkReplaySteadyState$' \
     ./internal/memhier/ | tee -a "$tmp"
 
-awk -v maxprocs="$(nproc)" -v goversion="$(go env GOVERSION)" '
+awk -v maxprocs="$(nproc)" -v goversion="$(go env GOVERSION)" -v baseline="$baseline" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -32,7 +35,7 @@ awk -v maxprocs="$(nproc)" -v goversion="$(go env GOVERSION)" '
 }
 END {
     printf "{\n"
-    printf "  \"baseline\": \"BENCH_003\",\n"
+    printf "  \"baseline\": \"%s\",\n", baseline
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"go\": \"%s\",\n", goversion

@@ -22,11 +22,19 @@
 //	stackmem -campaign -jobs 4 -retries 1 -manifest out.json
 //	stackmem -bench gauss -capacity 32 -checkpoint run.ckpt -checkpoint-every 100000
 //	stackmem -bench gauss -capacity 32 -checkpoint run.ckpt -resume
+//
+// Distributed campaigns (one coordinator, any number of workers; the
+// merged manifest is byte-identical to a single-process -campaign run):
+//
+//	stackmem -campaign -serve :9090 -manifest merged.json
+//	stackmem -campaign -worker host:9090 -jobs 2 -worker-name w1
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"diestack/internal/core"
+	"diestack/internal/dist"
 	"diestack/internal/fault"
 	"diestack/internal/harness"
 	"diestack/internal/memhier"
@@ -66,7 +75,12 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "campaign worker-pool size (0 = number of CPUs)")
 		retries    = flag.Int("retries", 0, "campaign retries per failed or timed-out job")
 		campaign   = flag.Bool("campaign", false, "run the paper sweep as a supervised parallel campaign")
-		manifest   = flag.String("manifest", "", "write the campaign manifest JSON to this file (default stdout)")
+		manifest   = flag.String("manifest", "", "write the campaign manifest JSON to this file (default stdout); worker mode: shard journal path")
+		serveAddr  = flag.String("serve", "", "with -campaign: coordinate the sweep from this listen address, sharding jobs to workers")
+		workerAddr = flag.String("worker", "", "with -campaign: pull jobs from the coordinator at this address (-bench/-seed/-scale come from the coordinator)")
+		workerName = flag.String("worker-name", "", "worker identity, unique per campaign (default hostname-pid)")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "serve mode: lease time-to-live without a worker heartbeat")
+		leaseBdgt  = flag.Int("lease-budget", 0, "serve mode: lease re-issues per job before it is recorded failed (0 = 8)")
 		ckptPath   = flag.String("checkpoint", "", "checkpoint file for a single-configuration supervised replay")
 		ckptEvery  = flag.Int("checkpoint-every", 1<<20, "records between checkpoint snapshots")
 		resumeFlag = flag.Bool("resume", false, "resume the -checkpoint replay from its last snapshot")
@@ -96,6 +110,26 @@ func main() {
 	if *ckptEvery <= 0 {
 		fatal(fmt.Errorf("-checkpoint-every must be positive, got %d", *ckptEvery))
 	}
+	if *serveAddr != "" && *workerAddr != "" {
+		fatal(fmt.Errorf("-serve and -worker are mutually exclusive"))
+	}
+	if (*serveAddr != "" || *workerAddr != "") && !*campaign {
+		fatal(fmt.Errorf("-serve and -worker require -campaign"))
+	}
+	if *workerName != "" && *workerAddr == "" {
+		fatal(fmt.Errorf("-worker-name only applies to -worker mode"))
+	}
+	if *leaseTTL <= 0 {
+		fatal(fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL))
+	}
+	if *leaseBdgt < 0 {
+		fatal(fmt.Errorf("-lease-budget must be non-negative, got %d", *leaseBdgt))
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if (f.Name == "lease-ttl" || f.Name == "lease-budget") && *serveAddr == "" {
+			fatal(fmt.Errorf("-%s only applies to -serve mode", f.Name))
+		}
+	})
 	fc, err := faultConfig(*faultSeed, *faultCorr, *faultUncorr, *faultBanks, *faultTSV)
 	if err != nil {
 		fatal(err)
@@ -120,6 +154,14 @@ func main() {
 		Parallelism: cli.Parallel, Obs: cli.Obs()}
 
 	switch {
+	case *campaign && *serveAddr != "":
+		if err := runCampaignServe(ctx, spec, *bench, *serveAddr, *leaseTTL, *leaseBdgt, *manifest); err != nil {
+			fatal(err)
+		}
+	case *campaign && *workerAddr != "":
+		if err := runCampaignWorker(ctx, *workerAddr, *workerName, *jobs, *retries, *timeout, *manifest); err != nil {
+			fatal(err)
+		}
 	case *campaign:
 		if err := runCampaign(ctx, spec, *bench, *jobs, *retries, *timeout, *manifest); err != nil {
 			fatal(err)
@@ -182,9 +224,129 @@ func runCampaign(ctx context.Context, rs core.RunSpec, bench string,
 	if err != nil {
 		return err
 	}
-	out := os.Stdout
+	if err := writeManifest(m, manifestPath); err != nil {
+		return err
+	}
+	if m.OK != len(m.Jobs) {
+		cli.Stop()
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runCampaignServe coordinates a distributed campaign: it expands the
+// sweep into job names, listens for workers, and writes the merged
+// manifest. With -manifest set, a crash-safe journal rides alongside
+// the manifest file, so a restarted coordinator resumes the merge
+// instead of rerunning finished jobs; the journal is removed once the
+// campaign runs to completion.
+func runCampaignServe(ctx context.Context, rs core.RunSpec, bench, addr string,
+	leaseTTL time.Duration, leaseBudget int, manifestPath string) error {
+	spec := core.CampaignSpec{Seed: rs.Seed, Scale: rs.Scale, Grid: rs.Grid,
+		Parallelism: rs.Parallelism}
+	if bench != "" {
+		spec.Benchmarks = []string{bench}
+	}
+	campaignJobs, err := core.CampaignJobs(spec)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(campaignJobs))
+	for i, j := range campaignJobs {
+		names[i] = j.Name
+	}
+	payload, err := spec.EncodeWire()
+	if err != nil {
+		return err
+	}
+	journalPath := ""
 	if manifestPath != "" {
-		f, err := os.Create(manifestPath)
+		journalPath = manifestPath + ".journal"
+	}
+	m, err := dist.RunCoordinator(ctx, dist.CoordinatorConfig{
+		Addr:          addr,
+		Jobs:          names,
+		SpecPayload:   payload,
+		LeaseTTL:      leaseTTL,
+		ReissueBudget: leaseBudget,
+		JournalPath:   journalPath,
+		Obs:           cli.Obs(),
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	var integrity *dist.IntegrityError
+	if err != nil && !errors.As(err, &integrity) {
+		return err
+	}
+	if err := writeManifest(m, manifestPath); err != nil {
+		return err
+	}
+	if journalPath != "" && ctx.Err() == nil {
+		// The campaign ran to completion; the journal has nothing left
+		// to resume. An interrupted campaign keeps it for restart.
+		os.Remove(journalPath)
+	}
+	if integrity != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", integrity)
+	}
+	if integrity != nil || m.OK != len(m.Jobs) {
+		cli.Stop()
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runCampaignWorker joins a distributed campaign: the sweep definition
+// comes from the coordinator, so only execution knobs (-jobs,
+// -retries, -timeout) are local. Pass the same -retries/-timeout as a
+// single-process run would use to keep attempt counts — and therefore
+// the merged manifest bytes — identical. -manifest names this worker's
+// shard journal: on restart the journaled results are resubmitted so
+// finished work survives a worker crash.
+func runCampaignWorker(ctx context.Context, addr, name string,
+	parallel, retries int, timeout time.Duration, journalPath string) error {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	return dist.RunWorker(ctx, dist.WorkerConfig{
+		Addr: addr,
+		Name: name,
+		MakeJobs: func(raw json.RawMessage) ([]harness.Job, error) {
+			spec, err := core.DecodeWireSpec(raw)
+			if err != nil {
+				return nil, err
+			}
+			spec.Obs = cli.Obs()
+			return core.CampaignJobs(spec)
+		},
+		Parallel:    parallel,
+		JournalPath: journalPath,
+		Harness: harness.Config{
+			Timeout: timeout,
+			Retries: retries,
+			Backoff: 100 * time.Millisecond,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+			},
+		},
+		Obs: cli.Obs(),
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+}
+
+// writeManifest writes m to path, or stdout when path is empty, and
+// prints the outcome summary.
+func writeManifest(m *harness.Manifest, path string) error {
+	out := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
@@ -196,10 +358,6 @@ func runCampaign(ctx context.Context, rs core.RunSpec, bench string,
 	}
 	fmt.Fprintf(os.Stderr, "campaign: %d ok, %d failed, %d panicked, %d timeout, %d canceled\n",
 		m.OK, m.Failed, m.Panicked, m.Timeout, m.Canceled)
-	if m.OK != len(m.Jobs) {
-		cli.Stop()
-		os.Exit(1)
-	}
 	return nil
 }
 

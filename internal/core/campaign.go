@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -110,6 +112,60 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 		}
 	}
 	return jobs, nil
+}
+
+// wireSpec is the serializable projection of a CampaignSpec: exactly
+// the fields that determine the job list and every job's result. Obs
+// is process-local and deliberately absent — each side of a
+// distributed campaign instruments with its own registry.
+type wireSpec struct {
+	Seed        uint64   `json:"seed"`
+	Scale       float64  `json:"scale"`
+	Grid        int      `json:"grid"`
+	Benchmarks  []string `json:"benchmarks,omitempty"`
+	SkipThermal bool     `json:"skip_thermal,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+}
+
+// EncodeWire serializes the distributable fields of the spec in a
+// canonical form: a coordinator sends these bytes to every worker, and
+// hashes them to fence off workers configured for a different
+// campaign. Encoding is deterministic (fixed field order), so equal
+// specs encode to equal bytes.
+func (spec CampaignSpec) EncodeWire() (json.RawMessage, error) {
+	raw, err := json.Marshal(wireSpec{
+		Seed:        spec.Seed,
+		Scale:       spec.Scale,
+		Grid:        spec.Grid,
+		Benchmarks:  spec.Benchmarks,
+		SkipThermal: spec.SkipThermal,
+		Parallelism: spec.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding campaign spec: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeWireSpec parses a spec encoded by EncodeWire. Unknown fields
+// are rejected so version skew between coordinator and worker fails
+// loudly instead of silently running a different campaign. The
+// returned spec carries no Obs registry; the caller attaches its own.
+func DecodeWireSpec(raw json.RawMessage) (CampaignSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var w wireSpec
+	if err := dec.Decode(&w); err != nil {
+		return CampaignSpec{}, fmt.Errorf("core: decoding campaign spec: %w", err)
+	}
+	return CampaignSpec{
+		Seed:        w.Seed,
+		Scale:       w.Scale,
+		Grid:        w.Grid,
+		Benchmarks:  w.Benchmarks,
+		SkipThermal: w.SkipThermal,
+		Parallelism: w.Parallelism,
+	}, nil
 }
 
 // logicSlug names a logic option in job-name form.

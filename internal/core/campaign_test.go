@@ -142,3 +142,34 @@ func TestThermalErrorSurfacedThroughCore(t *testing.T) {
 		t.Fatalf("typed error should carry the sweep count: %v", err)
 	}
 }
+
+func TestCampaignSpecWireRoundTrip(t *testing.T) {
+	spec := CampaignSpec{Seed: 7, Scale: 0.05, Grid: 16,
+		Benchmarks: []string{"gauss", "pcg"}, SkipThermal: true, Parallelism: 2}
+	raw, err := spec.EncodeWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWireSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip mutated the spec:\nin:  %+v\nout: %+v", spec, got)
+	}
+	// Equal specs encode to equal bytes (the coordinator hashes them).
+	raw2, err := spec.EncodeWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("encoding not canonical: %s vs %s", raw, raw2)
+	}
+	// Version skew fails loudly.
+	if _, err := DecodeWireSpec([]byte(`{"seed":1,"lease_style":"new"}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeWireSpec([]byte(`{garbage`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

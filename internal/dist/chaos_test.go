@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"diestack/internal/harness"
+	"diestack/internal/obs"
+)
+
+// TestChaosCampaignSurvivesWorkerFailures is the acceptance test for
+// the distributed layer: 120 jobs across 3 workers where one worker is
+// killed mid-campaign and another never heartbeats (so every lease it
+// takes expires), and the merged manifest must still be byte-identical
+// to a single-process run. Run with -race.
+func TestChaosCampaignSurvivesWorkerFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test takes a few seconds")
+	}
+	const n = 120
+	spec := testSpec{N: n, Every: 13}
+	golden := singleProcessManifest(t, spec)
+
+	// Jobs sleep so leases are in flight long enough for the kill to
+	// land mid-campaign, and every 10th job sleeps past the lease TTL —
+	// on the non-heartbeating worker those leases are guaranteed to
+	// expire mid-run.
+	slowMakeJobs := func(raw json.RawMessage) ([]harness.Job, error) {
+		jobs, err := testMakeJobs(raw)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			run := jobs[i].Run
+			d := 20 * time.Millisecond
+			if i%10 == 0 {
+				d = 600 * time.Millisecond
+			}
+			jobs[i].Run = func(ctx context.Context) (any, error) {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(d):
+				}
+				return run(ctx)
+			}
+		}
+		return jobs, nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	reg := obs.NewRegistry()
+	addr, out := startCoordinator(t, ctx, CoordinatorConfig{
+		Jobs:        jobNames(testJobs(spec)),
+		SpecPayload: mustPayload(t, spec),
+		// Short TTL so the dead and silent workers' leases expire fast;
+		// a generous re-issue budget so spurious expiries under -race
+		// slowness never fail a job outright.
+		LeaseTTL:      400 * time.Millisecond,
+		ReissueBudget: 50,
+		Obs:           reg,
+	})
+
+	workerErr := make(chan error, 3)
+	runWorker := func(wctx context.Context, cfg WorkerConfig) {
+		cfg.Addr = addr
+		cfg.MakeJobs = slowMakeJobs
+		workerErr <- RunWorker(wctx, cfg)
+	}
+
+	// Worker "steady" behaves; it must be able to finish the whole
+	// campaign alone if need be.
+	go runWorker(ctx, WorkerConfig{Name: "steady", Parallel: 2,
+		HeartbeatEvery: 50 * time.Millisecond})
+
+	// Worker "silent" runs jobs but never heartbeats: with jobs slower
+	// than nothing and a 400ms TTL some of its leases expire mid-run,
+	// exercising expiry, re-issue, and duplicate-completion paths.
+	go runWorker(ctx, WorkerConfig{Name: "silent", Parallel: 2,
+		DisableHeartbeat: true})
+
+	// Worker "doomed" is killed mid-campaign: its context is cut, it
+	// submits nothing further, and its outstanding leases must expire
+	// and be re-issued.
+	dctx, kill := context.WithCancel(ctx)
+	defer kill()
+	go runWorker(dctx, WorkerConfig{Name: "doomed", Parallel: 2,
+		HeartbeatEvery: 50 * time.Millisecond})
+	go func() {
+		// Let it take some leases first, then pull the plug.
+		time.Sleep(300 * time.Millisecond)
+		kill()
+	}()
+
+	o := waitOutcome(t, out)
+	if o.err != nil {
+		t.Fatalf("coordinator: %v", o.err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-workerErr; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+
+	got := manifestBytes(t, o.m)
+	if !bytes.Equal(got, golden) {
+		t.Errorf("chaos manifest differs from single-process golden (%d bytes vs %d)",
+			len(got), len(golden))
+		for _, r := range o.m.Jobs {
+			want := fmt.Sprintf("job-%03d", 0)
+			_ = want
+			if r.Status != harness.StatusOK && r.Status != harness.StatusFailed {
+				t.Logf("  %s: %s %s", r.Name, r.Status, r.Error)
+			}
+		}
+	}
+	if o.m.OK+o.m.Failed != n {
+		t.Errorf("OK+Failed = %d, want %d", o.m.OK+o.m.Failed, n)
+	}
+
+	// The chaos must actually have happened: the doomed and silent
+	// workers guarantee expiries and re-issues, and stolen or expired
+	// leases guarantee duplicate completions are at least possible.
+	if got := reg.CounterValue(obs.MetricLeaseExpired); got == 0 {
+		t.Error("no lease ever expired — the chaos did not bite")
+	}
+	if got := reg.CounterValue(obs.MetricLeaseReissues); got == 0 {
+		t.Error("no job was ever re-issued")
+	}
+	if got := reg.CounterValue(obs.MetricResultsDivergent); got != 0 {
+		t.Errorf("deterministic jobs diverged %d time(s)", got)
+	}
+	if got := reg.CounterValue(obs.MetricResultsAccepted); got != n {
+		t.Errorf("accepted = %d, want %d", got, n)
+	}
+	t.Logf("chaos: grants=%d steals=%d expired=%d reissues=%d duplicates=%d",
+		reg.CounterValue(obs.MetricLeaseGrants),
+		reg.CounterValue(obs.MetricLeaseSteals),
+		reg.CounterValue(obs.MetricLeaseExpired),
+		reg.CounterValue(obs.MetricLeaseReissues),
+		reg.CounterValue(obs.MetricResultsDuplicate))
+}

@@ -1,0 +1,62 @@
+// Package dist runs a campaign across processes and machines: one
+// coordinator shards the job list into leased work units, and any
+// number of workers pull jobs over a small line-delimited-JSON TCP
+// protocol, heartbeat while running, and stream results back.
+//
+// The design goal is that the orchestration layer itself survives the
+// failures the harness already survives inside one process:
+//
+//   - A worker crash, hang, or network partition silences its
+//     heartbeats; its leases expire and the jobs are re-issued to
+//     other workers with doubling backoff under a bounded budget.
+//   - Idle workers steal speculative duplicate leases on jobs whose
+//     leases are closest to expiry, so one slow worker cannot strand
+//     the campaign tail.
+//   - Duplicate completions resolve deterministically: the first
+//     valid result per job wins; a duplicate whose content diverges
+//     from the accepted result is flagged as a campaign-level
+//     integrity error (IntegrityError).
+//   - Every accepted result is appended to a CRC-guarded journal
+//     before it is acknowledged, so a coordinator restart resumes the
+//     merge from the partial manifest instead of rerunning finished
+//     jobs. Workers can keep their own shard journal of everything
+//     they completed.
+//
+// Workers run each leased job through harness.RunOne, so per-attempt
+// deadlines, panic isolation, and jittered retry backoff behave
+// exactly as in a single-process campaign — and the merged manifest
+// of a fully distributed run is byte-identical to the manifest a
+// single-process run of the same spec writes. Byte-identity works
+// because workers ship each job value as the raw JSON encoding of the
+// value the job returned (wireResult.Value); the merge embeds those
+// bytes verbatim, preserving struct field order through the final
+// indented encoding.
+//
+// The package is stdlib-only and knows nothing about what the jobs
+// compute: the coordinator is configured with job names plus an opaque
+// spec payload, and each worker turns that payload back into runnable
+// harness.Jobs through its MakeJobs hook (cmd/stackmem wires
+// core.CampaignJobs in).
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IntegrityError reports divergent duplicate completions: the same job
+// produced different results on different workers. The campaign still
+// completes — the first accepted result stands in the manifest — but
+// the divergence means some result may not be trustworthy, so it
+// surfaces as an error alongside the merged manifest.
+type IntegrityError struct {
+	// Reports describes each divergence, one entry per conflicting
+	// completion.
+	Reports []string
+}
+
+// Error summarizes the divergences.
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("dist: %d divergent duplicate completion(s): %s",
+		len(e.Reports), strings.Join(e.Reports, "; "))
+}

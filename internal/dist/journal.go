@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The merge journal is the coordinator's durable state: a header line
+// naming the campaign (spec hash + job count), then one line per
+// accepted result, each guarded by a CRC32 over the result's exact
+// bytes. A result is appended and fsynced before it is acknowledged to
+// the worker, so after a coordinator crash the journal *is* the
+// partial merged manifest: reopening it replays every accepted result
+// into the lease table and the campaign continues from there.
+//
+// Crash tolerance is asymmetric by design: a torn final line (the
+// crash happened mid-append) is silently truncated — that result was
+// never acknowledged, so its job simply runs again — while corruption
+// anywhere earlier is an error, because acknowledged results must
+// never be dropped quietly.
+
+// journalMagic identifies the file format.
+const journalMagic = "d3dist-journal"
+
+// ErrJournalMismatch means an existing journal belongs to a different
+// campaign (spec or job count changed).
+var ErrJournalMismatch = errors.New("dist: journal belongs to a different campaign")
+
+// journalHeader is the first line of the file.
+type journalHeader struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	SpecHash string `json:"spec_hash"`
+	Jobs     int    `json:"jobs"`
+}
+
+// journalLine wraps one accepted result. CRC is crc32(IEEE) over the
+// exact bytes of Result as they appear in the line.
+type journalLine struct {
+	CRC    uint32          `json:"crc"`
+	Result json.RawMessage `json:"result"`
+}
+
+// journal is an open merge (or worker shard) journal positioned for
+// appending.
+type journal struct {
+	f    *os.File
+	path string
+}
+
+// openJournal opens or creates the journal at path for the campaign
+// identified by (hash, jobs), returning the results already recorded.
+// An existing journal with a different header fails with
+// ErrJournalMismatch; a torn final line is truncated away.
+func openJournal(path, hash string, jobs int) (*journal, []wireResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &journal{f: f, path: path}
+	results, keep, err := j.load(hash, jobs)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if keep < 0 {
+		// Empty file (or a header torn by a crash during creation):
+		// start fresh.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := j.appendLine(mustJSON(journalHeader{
+			Magic: journalMagic, Version: 1, SpecHash: hash, Jobs: jobs,
+		})); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+	// Truncate a torn tail and position at the end.
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, results, nil
+}
+
+// load validates the header and replays the recorded results. keep is
+// the byte offset of the last intact line's end, or -1 for an empty
+// file.
+func (j *journal) load(hash string, jobs int) (results []wireResult, keep int64, err error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReaderSize(j.f, 64<<10)
+	readLine := func() ([]byte, error) {
+		var line []byte
+		for {
+			chunk, err := br.ReadSlice('\n')
+			line = append(line, chunk...)
+			if len(line) > maxLineBytes {
+				return nil, fmt.Errorf("dist: journal line exceeds the %d-byte cap", maxLineBytes)
+			}
+			if err == nil {
+				return line, nil
+			}
+			if err != bufio.ErrBufferFull {
+				return line, err
+			}
+		}
+	}
+
+	header, err := readLine()
+	if errors.Is(err, io.EOF) && len(header) == 0 {
+		return nil, -1, nil
+	}
+	var offset int64
+	var h journalHeader
+	if err != nil || json.Unmarshal(bytes.TrimRight(header, "\n"), &h) != nil || h.Magic != journalMagic {
+		return nil, 0, fmt.Errorf("dist: %s is not a campaign journal", j.path)
+	}
+	if h.Version != 1 {
+		return nil, 0, fmt.Errorf("dist: journal %s has unsupported version %d", j.path, h.Version)
+	}
+	if h.SpecHash != hash || h.Jobs != jobs {
+		return nil, 0, fmt.Errorf("%w: %s was written for spec %.12s.. (%d jobs), this campaign is %.12s.. (%d jobs)",
+			ErrJournalMismatch, j.path, h.SpecHash, h.Jobs, hash, jobs)
+	}
+	offset += int64(len(header))
+
+	for {
+		line, err := readLine()
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return nil, 0, err
+		}
+		if len(line) == 0 && atEOF {
+			return results, offset, nil
+		}
+		res, perr := parseJournalLine(bytes.TrimRight(line, "\n"))
+		if perr != nil {
+			if atEOF {
+				// Torn tail: the crash interrupted this append before the
+				// ack, so dropping it loses nothing acknowledged.
+				return results, offset, nil
+			}
+			return nil, 0, fmt.Errorf("dist: journal %s corrupt mid-file: %w", j.path, perr)
+		}
+		results = append(results, res)
+		offset += int64(len(line))
+		if atEOF {
+			return results, offset, nil
+		}
+	}
+}
+
+// parseJournalLine decodes and CRC-checks one result line.
+func parseJournalLine(line []byte) (wireResult, error) {
+	var jl journalLine
+	if err := json.Unmarshal(line, &jl); err != nil {
+		return wireResult{}, err
+	}
+	if crc32.ChecksumIEEE(jl.Result) != jl.CRC {
+		return wireResult{}, errors.New("crc mismatch")
+	}
+	var res wireResult
+	if err := json.Unmarshal(jl.Result, &res); err != nil {
+		return wireResult{}, err
+	}
+	if res.Name == "" {
+		return wireResult{}, errors.New("journal result without a job name")
+	}
+	return res, nil
+}
+
+// append records one accepted result durably: the line is written and
+// fsynced before the caller acknowledges the worker.
+func (j *journal) append(res wireResult) error {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalLine{CRC: crc32.ChecksumIEEE(raw), Result: raw})
+	if err != nil {
+		return err
+	}
+	return j.appendLine(line)
+}
+
+// appendLine writes one line and syncs.
+func (j *journal) appendLine(line []byte) error {
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("dist: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("dist: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (j *journal) Close() error { return j.f.Close() }
+
+// mustJSON marshals a value that cannot fail (fixed struct shape).
+func mustJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}

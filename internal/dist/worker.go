@@ -1,0 +1,337 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"diestack/internal/harness"
+	"diestack/internal/obs"
+)
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Addr is the coordinator's address.
+	Addr string
+	// Name identifies this worker in leases and logs; it must be unique
+	// across the campaign's workers.
+	Name string
+	// MakeJobs turns the coordinator's opaque spec payload back into the
+	// runnable job list. It must expand the same names the coordinator
+	// was configured with (cmd/stackmem wires core.CampaignJobs in).
+	MakeJobs func(spec json.RawMessage) ([]harness.Job, error)
+	// Parallel is how many leased jobs run concurrently (0 = 1).
+	Parallel int
+	// Harness configures each job execution — retries, per-job timeout,
+	// backoff and jitter — exactly as in a single-process campaign. Its
+	// Workers field is ignored (Parallel governs concurrency here) and
+	// its Obs defaults to the Obs field below.
+	Harness harness.Config
+	// JournalPath, when non-empty, is this worker's shard journal: every
+	// result the worker produced is recorded there, and on restart the
+	// recorded results are resubmitted to the coordinator (which
+	// deduplicates), so a worker crash after finishing a job cannot lose
+	// that work even if the submission never arrived.
+	JournalPath string
+	// Obs, when non-nil, instruments job execution on this worker.
+	Obs *obs.Registry
+	// Log, when non-nil, receives one line per lease and result.
+	Log func(format string, args ...any)
+	// DialBudget bounds how long the worker retries connecting before
+	// giving up (0 = 10s), so worker and coordinator start order does
+	// not matter.
+	DialBudget time.Duration
+	// HeartbeatEvery overrides the heartbeat interval (0 = a third of
+	// the coordinator's lease TTL). Tests shorten it.
+	HeartbeatEvery time.Duration
+	// DisableHeartbeat stops the worker from heartbeating, simulating a
+	// silently wedged or partitioned worker whose leases must expire.
+	// Test hook.
+	DisableHeartbeat bool
+}
+
+// worker is the running state behind RunWorker.
+type worker struct {
+	cfg     WorkerConfig
+	lc      *lineConn
+	logf    func(string, ...any)
+	jobs    map[string]harness.Job
+	journal *journal
+
+	activeMu sync.Mutex
+	active   map[uint64]string // lease id -> job, for heartbeats
+}
+
+// RunWorker connects to the coordinator at cfg.Addr, reconstructs the
+// job list from the campaign spec, and pulls leased jobs until the
+// coordinator reports the campaign done. Each job runs under the
+// harness (panic isolation, per-attempt deadlines, jittered retry
+// backoff); results stream back as they finish. Canceling ctx stops
+// the worker without submitting canceled results — its leases lapse at
+// the coordinator and the jobs are re-issued elsewhere.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Addr == "" {
+		return errors.New("dist: worker needs a coordinator address")
+	}
+	if cfg.Name == "" {
+		return errors.New("dist: worker needs a name")
+	}
+	if cfg.MakeJobs == nil {
+		return errors.New("dist: worker needs a MakeJobs hook")
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	if cfg.Harness.Obs == nil {
+		cfg.Harness.Obs = cfg.Obs
+	}
+	cfg.Harness.Workers = 0
+	w := &worker{cfg: cfg, logf: cfg.Log, active: map[uint64]string{}}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+
+	conn, err := dialRetry(ctx, cfg.Addr, cfg.DialBudget)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w.lc = newLineConn(conn)
+
+	hello, err := w.lc.roundTrip(request{Type: "hello", Proto: protoVersion, Worker: cfg.Name})
+	if err != nil {
+		return err
+	}
+	hash := specHash(hello.Spec)
+	if hello.SpecHash != hash {
+		return fmt.Errorf("dist: spec payload hash %.12s.. does not match advertised %.12s..",
+			hash, hello.SpecHash)
+	}
+	jobs, err := cfg.MakeJobs(hello.Spec)
+	if err != nil {
+		return fmt.Errorf("dist: expanding campaign spec: %w", err)
+	}
+	w.jobs = make(map[string]harness.Job, len(jobs))
+	for _, job := range jobs {
+		w.jobs[job.Name] = job
+	}
+	w.logf("worker %s: connected to %s, spec %.12s.., %d job(s) known",
+		cfg.Name, cfg.Addr, hash, len(jobs))
+
+	if cfg.JournalPath != "" {
+		j, recorded, err := openJournal(cfg.JournalPath, hash, len(jobs))
+		if err != nil {
+			return err
+		}
+		w.journal = j
+		defer j.Close()
+		// Resubmit everything this worker already finished; the
+		// coordinator deduplicates, so this only matters when the
+		// previous submission was lost with the worker.
+		for _, wr := range recorded {
+			if _, err := w.lc.roundTrip(request{Type: "result", Result: &wr}); err != nil {
+				return err
+			}
+		}
+		if n := len(recorded); n > 0 {
+			w.logf("worker %s: resubmitted %d journaled result(s)", cfg.Name, n)
+		}
+	}
+
+	// The run context ends when ctx does or when any goroutine hits a
+	// connection error; firstErr keeps the root cause.
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	if !cfg.DisableHeartbeat {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.heartbeatLoop(rctx, time.Duration(hello.LeaseTTLMS)*time.Millisecond, fail)
+		}()
+	}
+	for i := 0; i < cfg.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.pullLoop(rctx); err != nil {
+				fail(err)
+			}
+			cancel() // one slot seeing "done" releases the others promptly
+		}()
+	}
+	wg.Wait()
+
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil && ctx.Err() == nil {
+		return firstErr
+	}
+	return nil
+}
+
+// dialRetry connects to addr, retrying until the budget elapses, so
+// workers may start before the coordinator listens.
+func dialRetry(ctx context.Context, addr string, budget time.Duration) (net.Conn, error) {
+	if budget <= 0 {
+		budget = 10 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: coordinator %s unreachable after %v: %w", addr, budget, err)
+		}
+		t := time.NewTimer(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// heartbeatLoop renews the worker's live leases at a third of the TTL.
+func (w *worker) heartbeatLoop(ctx context.Context, ttl time.Duration, fail func(error)) {
+	interval := w.cfg.HeartbeatEvery
+	if interval <= 0 {
+		interval = ttl / 3
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		w.activeMu.Lock()
+		leases := make([]uint64, 0, len(w.active))
+		for id := range w.active {
+			leases = append(leases, id)
+		}
+		w.activeMu.Unlock()
+		if len(leases) == 0 {
+			continue
+		}
+		if _, err := w.lc.roundTrip(request{Type: "heartbeat", Worker: w.cfg.Name, Leases: leases}); err != nil {
+			if ctx.Err() == nil {
+				fail(fmt.Errorf("dist: heartbeat: %w", err))
+			}
+			return
+		}
+	}
+}
+
+// pullLoop is one concurrency slot: pull a lease, run the job, submit
+// the result, until the coordinator says done or ctx ends.
+func (w *worker) pullLoop(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		resp, err := w.lc.roundTrip(request{Type: "pull", Worker: w.cfg.Name, Max: 1})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		switch resp.Type {
+		case "done":
+			w.logf("worker %s: campaign done", w.cfg.Name)
+			return nil
+		case "wait":
+			d := time.Duration(resp.WaitMS) * time.Millisecond
+			if d <= 0 {
+				d = 20 * time.Millisecond
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			case <-t.C:
+			}
+		case "grant":
+			for _, g := range resp.Grants {
+				if err := w.runLease(ctx, g); err != nil {
+					if ctx.Err() != nil {
+						return nil
+					}
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("dist: unexpected pull response type %q", resp.Type)
+		}
+	}
+}
+
+// runLease executes one granted job and submits its result.
+func (w *worker) runLease(ctx context.Context, g wireGrant) error {
+	w.activeMu.Lock()
+	w.active[g.LeaseID] = g.Job
+	w.activeMu.Unlock()
+	defer func() {
+		w.activeMu.Lock()
+		delete(w.active, g.LeaseID)
+		w.activeMu.Unlock()
+	}()
+
+	job, ok := w.jobs[g.Job]
+	if !ok {
+		// The coordinator and this worker expanded different job lists
+		// from the same spec — a bug worth failing loudly over.
+		return fmt.Errorf("dist: granted unknown job %q (spec expansion mismatch)", g.Job)
+	}
+	if g.Stolen {
+		w.logf("worker %s: running stolen lease on %s", w.cfg.Name, g.Job)
+	} else {
+		w.logf("worker %s: running %s", w.cfg.Name, g.Job)
+	}
+
+	res := harness.RunOne(ctx, w.cfg.Harness, job)
+	if res.Status == harness.StatusCanceled && ctx.Err() != nil {
+		// Our own shutdown, not a campaign outcome: drop the result and
+		// let the lease lapse so the job is re-issued elsewhere.
+		return nil
+	}
+	wr, err := encodeResult(res)
+	if err != nil {
+		return err
+	}
+	if w.journal != nil {
+		if err := w.journal.append(wr); err != nil {
+			return err
+		}
+	}
+	resp, err := w.lc.roundTrip(request{Type: "result", Worker: w.cfg.Name, Result: &wr})
+	if err != nil {
+		return err
+	}
+	w.logf("worker %s: %s %s (%s)", w.cfg.Name, g.Job, res.Status, resp.Outcome)
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"diestack/internal/obs"
+	"diestack/internal/stats"
 )
 
 // Job is one unit of campaign work.
@@ -55,8 +56,22 @@ type Config struct {
 	// Backoff is the sleep before the first retry; it doubles on each
 	// subsequent one (0 = retry immediately).
 	Backoff time.Duration
-	// Sleep replaces time.Sleep between attempts; tests inject a
-	// recorder here.
+	// Jitter shortens each backoff sleep by a random fraction of up to
+	// this much (in [0, 1]): a sleep of d becomes d - d*Jitter*u with u
+	// uniform in [0, 1). Without jitter, jobs that failed together
+	// retry together and stampede whatever shared resource felled them.
+	// The randomness comes from a seeded deterministic generator
+	// (internal/stats), derived per job name, so identical campaigns
+	// sleep identically. 0 = exact doubling.
+	Jitter float64
+	// JitterSeed seeds the jitter source. Distinct jobs still jitter
+	// differently under the same seed; the seed exists so a rerun of
+	// the same campaign reproduces the same schedule.
+	JitterSeed uint64
+	// Sleep replaces the inter-attempt sleep; tests inject a recorder
+	// here. When nil, the harness sleeps on a timer but wakes early if
+	// the campaign context is canceled, so a job stuck in a long
+	// backoff cannot outlive its campaign.
 	Sleep func(time.Duration)
 	// Log, when non-nil, receives one line per attempt outcome.
 	Log func(format string, args ...any)
@@ -184,16 +199,15 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 			return nil, fmt.Errorf("harness: job %q has no Run function", j.Name)
 		}
 	}
+	if cfg.Jitter < 0 || cfg.Jitter > 1 || cfg.Jitter != cfg.Jitter {
+		return nil, fmt.Errorf("harness: Jitter must be in [0, 1], got %v", cfg.Jitter)
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
-	}
-	sleep := cfg.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
 	}
 	logf := cfg.Log
 	if logf == nil {
@@ -217,7 +231,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 			for i := range feed {
 				ho.queued.Add(-1)
 				ho.running.Add(1)
-				results[i] = runJob(ctx, cfg, jobs[i], sleep, logf, ho)
+				results[i] = runJob(ctx, cfg, jobs[i], logf, ho)
 				ho.running.Add(-1)
 				ho.publish(results[i])
 			}
@@ -238,7 +252,16 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 	close(feed)
 	wg.Wait()
 
-	m := &Manifest{Jobs: results}
+	return BuildManifest(results), nil
+}
+
+// BuildManifest assembles job results into the deterministic manifest
+// form: entries sorted by name, outcome counts tallied. Identical
+// result sets — whatever order and process they were produced in —
+// build byte-identical manifests, which is what lets a distributed
+// campaign's merged manifest be compared against a single-process run.
+func BuildManifest(results []JobResult) *Manifest {
+	m := &Manifest{Jobs: append([]JobResult(nil), results...)}
 	sort.Slice(m.Jobs, func(i, j int) bool { return m.Jobs[i].Name < m.Jobs[j].Name })
 	for _, r := range m.Jobs {
 		switch r.Status {
@@ -254,7 +277,30 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Manifest, error) {
 			m.Canceled++
 		}
 	}
-	return m, nil
+	return m
+}
+
+// RunOne executes a single job through the same attempt machinery the
+// campaign pool uses — panic isolation, per-attempt deadline, retry
+// with jittered doubling backoff — and returns its result without any
+// manifest bookkeeping. Distributed campaign workers run leased jobs
+// through it so a crash or hang in one job is isolated exactly as it
+// would be in a single-process campaign.
+func RunOne(ctx context.Context, cfg Config, job Job) JobResult {
+	if job.Run == nil {
+		return JobResult{Name: job.Name, Status: StatusFailed,
+			Error: "harness: job has no Run function"}
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ho := bindObs(cfg.Obs)
+	ho.running.Add(1)
+	res := runJob(ctx, cfg, job, logf, ho)
+	ho.running.Add(-1)
+	ho.publish(res)
+	return res
 }
 
 // publish folds one finished job into the campaign counters.
@@ -280,7 +326,7 @@ func (ho harnessObs) publish(res JobResult) {
 }
 
 // runJob runs one job through its attempt loop.
-func runJob(ctx context.Context, cfg Config, job Job, sleep func(time.Duration), logf func(string, ...any), ho harnessObs) JobResult {
+func runJob(ctx context.Context, cfg Config, job Job, logf func(string, ...any), ho harnessObs) JobResult {
 	sp := ho.reg.StartSpan("harness/job")
 	defer sp.End()
 	res := JobResult{Name: job.Name}
@@ -289,6 +335,13 @@ func runJob(ctx context.Context, cfg Config, job Job, sleep func(time.Duration),
 		timeout = job.Timeout
 	}
 	backoff := cfg.Backoff
+	var jitter *stats.RNG
+	if cfg.Jitter > 0 {
+		// Derived per job name: jobs that fail together spread their
+		// retries apart, yet the schedule is a pure function of
+		// (JitterSeed, job name, attempt) and replays exactly.
+		jitter = stats.NewRNG(jitterSeed(cfg.JitterSeed, job.Name))
+	}
 	for attempt := 0; ; attempt++ {
 		res.Attempts = attempt + 1
 		if err := ctx.Err(); err != nil {
@@ -327,10 +380,44 @@ func runJob(ctx context.Context, cfg Config, job Job, sleep func(time.Duration),
 			return res
 		}
 		if backoff > 0 {
-			sleep(backoff)
+			d := backoff
+			if jitter != nil {
+				d -= time.Duration(cfg.Jitter * jitter.Float64() * float64(d))
+			}
+			sleepBackoff(ctx, cfg.Sleep, d)
 			backoff *= 2
 		}
 	}
+}
+
+// sleepBackoff waits out one inter-attempt backoff. An injected Sleep
+// (tests) is called as-is; the default timer sleep wakes early when the
+// campaign context is canceled, so cancellation and campaign deadlines
+// reach jobs parked in a long backoff instead of waiting it out. The
+// attempt loop's top-of-loop ctx check turns the early wake into a
+// canceled result.
+func sleepBackoff(ctx context.Context, sleep func(time.Duration), d time.Duration) {
+	if sleep != nil {
+		sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// jitterSeed mixes the campaign seed with an FNV-1a hash of the job
+// name, giving every job its own deterministic jitter stream.
+func jitterSeed(seed uint64, name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h ^ seed
 }
 
 // runAttempt runs one attempt under its deadline with panic isolation.

@@ -214,3 +214,143 @@ func TestFailures(t *testing.T) {
 		t.Fatalf("counts wrong: %+v", m)
 	}
 }
+
+func TestPanicOnFinalRetryAttempt(t *testing.T) {
+	attempts := 0
+	jobs := []Job{{Name: "lastgasp", Run: func(context.Context) (any, error) {
+		attempts++
+		if attempts <= 2 {
+			return nil, errors.New("transient")
+		}
+		panic("died on the last attempt")
+	}}}
+	m, err := Run(context.Background(), Config{Retries: 2, Sleep: func(time.Duration) {}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.Result("lastgasp")
+	if r.Status != StatusPanicked || r.Attempts != 3 {
+		t.Fatalf("want panicked on attempt 3, got %+v", r)
+	}
+	if !strings.Contains(r.Error, "died on the last attempt") || r.Stack == "" {
+		t.Fatalf("final-attempt panic not captured: %+v", r)
+	}
+}
+
+func TestDeadlineExpiringMidBackoff(t *testing.T) {
+	// The campaign deadline fires while the only job is parked in a
+	// long retry backoff; the default sleep must wake early instead of
+	// serving out the full 30s.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	jobs := []Job{{Name: "parked", Run: func(context.Context) (any, error) {
+		return nil, errors.New("always fails")
+	}}}
+	start := time.Now()
+	m, err := Run(ctx, Config{Retries: 1, Backoff: 30 * time.Second}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored the campaign deadline (took %v)", elapsed)
+	}
+	r, _ := m.Result("parked")
+	if r.Status != StatusCanceled {
+		t.Fatalf("want canceled out of backoff, got %+v", r)
+	}
+}
+
+func TestCancellationRacingCompletion(t *testing.T) {
+	// The job cancels the campaign itself and then returns
+	// successfully: a completed attempt must stay ok, not be
+	// reclassified as canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := []Job{{Name: "racer", Run: func(context.Context) (any, error) {
+		cancel()
+		return "made it", nil
+	}}}
+	m, err := Run(ctx, Config{Retries: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.Result("racer")
+	if r.Status != StatusOK || r.Value != "made it" || r.Attempts != 1 {
+		t.Fatalf("success lost the race to cancellation: %+v", r)
+	}
+}
+
+func TestBackoffJitterDeterministicAndDesynchronized(t *testing.T) {
+	failing := func(context.Context) (any, error) { return nil, errors.New("no") }
+	// One campaign per job so the Sleep recorder unambiguously belongs
+	// to that job's schedule.
+	record := func(seed uint64) [][]time.Duration {
+		var out [][]time.Duration
+		for _, name := range []string{"jobA", "jobB"} {
+			var ds []time.Duration
+			_, err := Run(context.Background(), Config{
+				Retries: 2, Backoff: time.Second, Jitter: 0.5, JitterSeed: seed,
+				Sleep: func(d time.Duration) { ds = append(ds, d) },
+			}, []Job{{Name: name, Run: failing}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ds)
+		}
+		return out
+	}
+	a := record(7)
+	b := record(7)
+	for i := range a {
+		if len(a[i]) != 2 {
+			t.Fatalf("want 2 sleeps, got %v", a[i])
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("jitter not reproducible: %v vs %v", a[i], b[i])
+			}
+			base := time.Second << j
+			if a[i][j] > base || a[i][j] < base/2 {
+				t.Fatalf("sleep %v outside [%v, %v]", a[i][j], base/2, base)
+			}
+		}
+	}
+	if a[0][0] == a[1][0] && a[0][1] == a[1][1] {
+		t.Fatalf("distinct jobs share a jitter schedule: %v vs %v", a[0], a[1])
+	}
+	c := record(8)
+	if c[0][0] == a[0][0] && c[0][1] == a[0][1] {
+		t.Fatalf("seed change did not move the schedule: %v vs %v", a[0], c[0])
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		if _, err := Run(context.Background(), Config{Jitter: bad}, []Job{ok(1)}); err == nil {
+			t.Errorf("Jitter=%v accepted", bad)
+		}
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	attempts := 0
+	res := RunOne(context.Background(), Config{Retries: 1, Sleep: func(time.Duration) {}},
+		Job{Name: "solo", Run: func(context.Context) (any, error) {
+			attempts++
+			if attempts == 1 {
+				return nil, errors.New("transient")
+			}
+			return 99, nil
+		}})
+	if res.Status != StatusOK || res.Value != 99 || res.Attempts != 2 {
+		t.Fatalf("RunOne lost the retry machinery: %+v", res)
+	}
+	boom := RunOne(context.Background(), Config{}, Job{Name: "boom",
+		Run: func(context.Context) (any, error) { panic("isolated") }})
+	if boom.Status != StatusPanicked || boom.Stack == "" {
+		t.Fatalf("RunOne lost panic isolation: %+v", boom)
+	}
+	if missing := RunOne(context.Background(), Config{}, Job{Name: "norun"}); missing.Status != StatusFailed {
+		t.Fatalf("nil Run not failed: %+v", missing)
+	}
+}

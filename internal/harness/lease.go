@@ -1,0 +1,410 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the job/lease state machine a distributed campaign
+// coordinator runs on: jobs move pending -> leased -> done, leases are
+// kept alive by heartbeats and reclaimed when they lapse, expired jobs
+// are re-issued with doubling backoff under a bounded budget, idle
+// workers may steal a speculative duplicate lease on a slow job, and
+// duplicate completions resolve deterministically — the first valid
+// result per job wins, divergent duplicates are recorded as integrity
+// errors. The table is pure bookkeeping: it never reads the clock
+// (callers pass `now`), never touches the network, and is driven the
+// same way by the real coordinator and by tests.
+
+// LeaseConfig parameterizes a LeaseTable.
+type LeaseConfig struct {
+	// TTL is how long a lease stays valid past its grant or most recent
+	// heartbeat. Must be positive.
+	TTL time.Duration
+	// ReissueBudget bounds how many times a job may be re-queued after
+	// all of its leases expired before the table gives up and records
+	// the job as failed (0 selects the default of 8). The budget turns
+	// a job that kills every worker it lands on into a failed manifest
+	// entry instead of an infinite re-issue loop.
+	ReissueBudget int
+	// ReissueBackoff delays an expired job's next grant; it doubles on
+	// every subsequent expiry of the same job (0 = re-issue
+	// immediately).
+	ReissueBackoff time.Duration
+	// MaxHolders caps concurrent speculative holders per job (work
+	// stealing grants a duplicate lease on an already-leased job when
+	// the pending queue is empty). 0 selects the default of 2; 1
+	// disables stealing.
+	MaxHolders int
+}
+
+// defaultReissueBudget bounds lease re-issues per job when the config
+// does not say otherwise.
+const defaultReissueBudget = 8
+
+// Grant is one lease handed to a worker.
+type Grant struct {
+	// Job names the granted job.
+	Job string
+	// LeaseID identifies this lease in heartbeats.
+	LeaseID uint64
+	// Expiry is when the lease lapses without a heartbeat.
+	Expiry time.Time
+	// Stolen marks a speculative duplicate lease on a job another
+	// worker is still holding.
+	Stolen bool
+}
+
+// CompleteOutcome classifies what a submitted result did to the table.
+type CompleteOutcome int
+
+const (
+	// CompleteAccepted: first valid result for the job; it is recorded.
+	CompleteAccepted CompleteOutcome = iota
+	// CompleteDuplicate: the job was already done with an identical
+	// fingerprint; the submission is dropped.
+	CompleteDuplicate
+	// CompleteDivergent: the job was already done with a different
+	// fingerprint; an integrity error is recorded and the original
+	// result stands.
+	CompleteDivergent
+)
+
+// String names the outcome for logs.
+func (o CompleteOutcome) String() string {
+	switch o {
+	case CompleteAccepted:
+		return "accepted"
+	case CompleteDuplicate:
+		return "duplicate"
+	case CompleteDivergent:
+		return "divergent"
+	}
+	return fmt.Sprintf("outcome-%d", int(o))
+}
+
+// ErrUnknownJob is returned for completions naming a job the table was
+// not built with.
+var ErrUnknownJob = errors.New("harness: completion for unknown job")
+
+// leaseHolder is one worker's claim on a job.
+type leaseHolder struct {
+	id     uint64
+	worker string
+	expiry time.Time
+}
+
+// leaseEntry tracks one job through the lease lifecycle.
+type leaseEntry struct {
+	name        string
+	holders     []leaseHolder
+	reissues    int       // times all holders expired and the job was re-queued
+	notBefore   time.Time // re-issue backoff gate
+	done        bool
+	result      JobResult
+	fingerprint string
+}
+
+// LeaseTable is the coordinator-side job/lease state machine. It is
+// not safe for concurrent use; callers serialize access (the
+// coordinator holds one mutex across the table and its journal so the
+// two never disagree).
+type LeaseTable struct {
+	cfg     LeaseConfig
+	entries map[string]*leaseEntry
+	order   []string // insertion order, for deterministic scans
+	queue   []string // pending jobs, FIFO
+	nextID  uint64
+	doneN   int
+	diverge []string
+}
+
+// NewLeaseTable builds a table over the named jobs, all pending.
+func NewLeaseTable(cfg LeaseConfig, jobs []string) (*LeaseTable, error) {
+	if cfg.TTL <= 0 {
+		return nil, fmt.Errorf("harness: lease TTL must be positive, got %v", cfg.TTL)
+	}
+	if cfg.ReissueBudget < 0 {
+		return nil, fmt.Errorf("harness: ReissueBudget must be non-negative, got %d", cfg.ReissueBudget)
+	}
+	if cfg.ReissueBudget == 0 {
+		cfg.ReissueBudget = defaultReissueBudget
+	}
+	if cfg.MaxHolders < 0 {
+		return nil, fmt.Errorf("harness: MaxHolders must be non-negative, got %d", cfg.MaxHolders)
+	}
+	if cfg.MaxHolders == 0 {
+		cfg.MaxHolders = 2
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("harness: lease table needs at least one job")
+	}
+	t := &LeaseTable{cfg: cfg, entries: make(map[string]*leaseEntry, len(jobs))}
+	for _, name := range jobs {
+		if name == "" {
+			return nil, errors.New("harness: lease table job with empty name")
+		}
+		if _, dup := t.entries[name]; dup {
+			return nil, fmt.Errorf("harness: duplicate lease table job %q", name)
+		}
+		t.entries[name] = &leaseEntry{name: name}
+		t.order = append(t.order, name)
+		t.queue = append(t.queue, name)
+	}
+	return t, nil
+}
+
+// Acquire grants up to max leases to worker. Pending jobs whose
+// re-issue backoff has elapsed are granted first, in queue order. If
+// none are pending, jobs already leased to *other* workers with spare
+// holder slots are stolen — a speculative duplicate grant, earliest
+// expiry first, so an idle worker shadows the lease most likely to
+// lapse. Returns nil when nothing can be granted.
+func (t *LeaseTable) Acquire(worker string, max int, now time.Time) []Grant {
+	if max <= 0 {
+		max = 1
+	}
+	var grants []Grant
+	// Pending queue first: skip entries still inside their re-issue
+	// backoff window, preserving their order.
+	var rest []string
+	for i, name := range t.queue {
+		if len(grants) >= max {
+			rest = append(rest, t.queue[i:]...)
+			break
+		}
+		e := t.entries[name]
+		if e == nil || e.done {
+			continue
+		}
+		if now.Before(e.notBefore) {
+			rest = append(rest, name)
+			continue
+		}
+		grants = append(grants, t.grant(e, worker, now, false))
+	}
+	t.queue = rest
+	if len(grants) > 0 {
+		return grants
+	}
+	// Work stealing: nothing pending, so shadow the leases closest to
+	// expiry. A stolen grant is a normal lease on the same job; the
+	// first completion wins and the loser becomes a duplicate.
+	var candidates []*leaseEntry
+	for _, name := range t.order {
+		e := t.entries[name]
+		if e.done || len(e.holders) == 0 || len(e.holders) >= t.cfg.MaxHolders {
+			continue
+		}
+		if e.heldBy(worker) {
+			continue
+		}
+		candidates = append(candidates, e)
+	}
+	for len(grants) < max && len(candidates) > 0 {
+		best := 0
+		for i, e := range candidates {
+			if e.earliestExpiry().Before(candidates[best].earliestExpiry()) {
+				best = i
+			}
+		}
+		e := candidates[best]
+		candidates = append(candidates[:best], candidates[best+1:]...)
+		grants = append(grants, t.grant(e, worker, now, true))
+	}
+	return grants
+}
+
+// grant adds a holder to e and returns the Grant.
+func (t *LeaseTable) grant(e *leaseEntry, worker string, now time.Time, stolen bool) Grant {
+	t.nextID++
+	h := leaseHolder{id: t.nextID, worker: worker, expiry: now.Add(t.cfg.TTL)}
+	e.holders = append(e.holders, h)
+	return Grant{Job: e.name, LeaseID: h.id, Expiry: h.expiry, Stolen: stolen}
+}
+
+// heldBy reports whether worker already holds a lease on the entry.
+func (e *leaseEntry) heldBy(worker string) bool {
+	for _, h := range e.holders {
+		if h.worker == worker {
+			return true
+		}
+	}
+	return false
+}
+
+// earliestExpiry returns the soonest holder expiry (zero if none).
+func (e *leaseEntry) earliestExpiry() time.Time {
+	var min time.Time
+	for i, h := range e.holders {
+		if i == 0 || h.expiry.Before(min) {
+			min = h.expiry
+		}
+	}
+	return min
+}
+
+// Heartbeat extends the named leases held by worker to now+TTL and
+// returns how many were renewed. Leases that already expired or were
+// reassigned renew nothing — the worker learns it lost them when its
+// completion comes back a duplicate.
+func (t *LeaseTable) Heartbeat(worker string, leases []uint64, now time.Time) int {
+	renewed := 0
+	for _, name := range t.order {
+		e := t.entries[name]
+		for i := range e.holders {
+			if e.holders[i].worker != worker {
+				continue
+			}
+			for _, id := range leases {
+				if e.holders[i].id == id {
+					e.holders[i].expiry = now.Add(t.cfg.TTL)
+					renewed++
+					break
+				}
+			}
+		}
+	}
+	return renewed
+}
+
+// ExpireDue drops every lease holder whose expiry has passed. Jobs
+// left with no holders are re-queued behind a doubling backoff
+// (2^reissues * ReissueBackoff) — unless the re-issue budget is
+// exhausted, in which case the job is recorded as failed so the
+// campaign still terminates. Returns the re-queued and failed job
+// names; expired is the count of individual lapsed leases.
+func (t *LeaseTable) ExpireDue(now time.Time) (requeued, failed []string, expired int) {
+	for _, name := range t.order {
+		e := t.entries[name]
+		if e.done || len(e.holders) == 0 {
+			continue
+		}
+		kept := e.holders[:0]
+		for _, h := range e.holders {
+			if h.expiry.After(now) {
+				kept = append(kept, h)
+			} else {
+				expired++
+			}
+		}
+		lapsed := len(e.holders) - len(kept)
+		e.holders = kept
+		if lapsed == 0 || len(e.holders) > 0 {
+			continue
+		}
+		e.reissues++
+		if e.reissues > t.cfg.ReissueBudget {
+			t.finish(e, JobResult{
+				Name:   e.name,
+				Status: StatusFailed,
+				Error: fmt.Sprintf("harness: lease re-issue budget exhausted after %d expiries",
+					e.reissues),
+			}, "")
+			failed = append(failed, e.name)
+			continue
+		}
+		if t.cfg.ReissueBackoff > 0 {
+			e.notBefore = now.Add(t.cfg.ReissueBackoff << (e.reissues - 1))
+		}
+		t.queue = append(t.queue, e.name)
+		requeued = append(requeued, e.name)
+	}
+	return requeued, failed, expired
+}
+
+// Complete submits a result for res.Name. The first valid result per
+// job wins regardless of which lease — current, expired, or stolen —
+// produced it; identical later submissions are duplicates and
+// differing ones are divergences. The fingerprint is the caller's
+// canonical digest of the result's observable content (status, error,
+// value — not attempt counts or panic stacks, which may legitimately
+// differ between duplicate executions).
+func (t *LeaseTable) Complete(res JobResult, fingerprint string) (CompleteOutcome, error) {
+	e := t.entries[res.Name]
+	if e == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownJob, res.Name)
+	}
+	if e.done {
+		if e.fingerprint == fingerprint {
+			return CompleteDuplicate, nil
+		}
+		t.diverge = append(t.diverge, fmt.Sprintf(
+			"job %s: duplicate completion diverged from the accepted result", res.Name))
+		return CompleteDivergent, nil
+	}
+	t.finish(e, res, fingerprint)
+	return CompleteAccepted, nil
+}
+
+// finish records a job's terminal result and clears its lease state.
+func (t *LeaseTable) finish(e *leaseEntry, res JobResult, fingerprint string) {
+	e.done = true
+	e.result = res
+	e.fingerprint = fingerprint
+	e.holders = nil
+	t.doneN++
+}
+
+// CancelRemaining marks every unfinished job canceled with the given
+// reason — the coordinator's shutdown path, mirroring how a canceled
+// single-process campaign records its unstarted jobs. Returns how many
+// jobs it canceled.
+func (t *LeaseTable) CancelRemaining(reason string) int {
+	n := 0
+	for _, name := range t.order {
+		e := t.entries[name]
+		if e.done {
+			continue
+		}
+		t.finish(e, JobResult{Name: e.name, Status: StatusCanceled, Error: reason}, "")
+		n++
+	}
+	return n
+}
+
+// Done reports whether every job has a terminal result.
+func (t *LeaseTable) Done() bool { return t.doneN == len(t.order) }
+
+// Remaining counts jobs without a terminal result.
+func (t *LeaseTable) Remaining() int { return len(t.order) - t.doneN }
+
+// Leased counts jobs currently holding at least one live lease.
+func (t *LeaseTable) Leased() int {
+	n := 0
+	for _, name := range t.order {
+		if e := t.entries[name]; !e.done && len(e.holders) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Result returns the recorded terminal result for one job, if any.
+func (t *LeaseTable) Result(name string) (JobResult, bool) {
+	if e := t.entries[name]; e != nil && e.done {
+		return e.result, true
+	}
+	return JobResult{}, false
+}
+
+// Results returns the recorded results, in job insertion order. Only
+// meaningful once Done (earlier it returns the subset finished so
+// far).
+func (t *LeaseTable) Results() []JobResult {
+	var out []JobResult
+	for _, name := range t.order {
+		if e := t.entries[name]; e.done {
+			out = append(out, e.result)
+		}
+	}
+	return out
+}
+
+// Divergences returns the recorded integrity errors: one entry per
+// duplicate completion whose content differed from the accepted
+// result.
+func (t *LeaseTable) Divergences() []string {
+	return append([]string(nil), t.diverge...)
+}

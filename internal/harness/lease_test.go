@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestTable(t *testing.T, cfg LeaseConfig, jobs ...string) *LeaseTable {
+	t.Helper()
+	if len(jobs) == 0 {
+		jobs = []string{"a", "b", "c"}
+	}
+	table, err := NewLeaseTable(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func TestLeaseTableValidation(t *testing.T) {
+	if _, err := NewLeaseTable(LeaseConfig{}, []string{"a"}); err == nil {
+		t.Error("zero TTL accepted")
+	}
+	if _, err := NewLeaseTable(LeaseConfig{TTL: time.Second}, nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+	if _, err := NewLeaseTable(LeaseConfig{TTL: time.Second}, []string{"a", "a"}); err == nil {
+		t.Error("duplicate job accepted")
+	}
+	if _, err := NewLeaseTable(LeaseConfig{TTL: time.Second}, []string{""}); err == nil {
+		t.Error("empty job name accepted")
+	}
+}
+
+func TestLeaseAcquireOrderAndExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second})
+	grants := table.Acquire("w1", 2, now)
+	if len(grants) != 2 || grants[0].Job != "a" || grants[1].Job != "b" {
+		t.Fatalf("want [a b] in queue order, got %+v", grants)
+	}
+	for _, g := range grants {
+		if g.Stolen {
+			t.Errorf("queue grant marked stolen: %+v", g)
+		}
+		if !g.Expiry.Equal(now.Add(time.Second)) {
+			t.Errorf("expiry %v, want now+TTL", g.Expiry)
+		}
+	}
+	if got := table.Acquire("w2", 5, now); len(got) != 1 || got[0].Job != "c" {
+		t.Fatalf("want [c], got %+v", got)
+	}
+}
+
+func TestLeaseHeartbeatKeepsAlive(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a")
+	g := table.Acquire("w1", 1, now)[0]
+
+	if n := table.Heartbeat("w1", []uint64{g.LeaseID}, now.Add(900*time.Millisecond)); n != 1 {
+		t.Fatalf("renewed %d, want 1", n)
+	}
+	// Past the original expiry but inside the renewed one.
+	if _, _, expired := table.ExpireDue(now.Add(1500 * time.Millisecond)); expired != 0 {
+		t.Fatalf("heartbeat did not extend the lease: %d expired", expired)
+	}
+	// The wrong worker cannot renew someone else's lease.
+	if n := table.Heartbeat("w2", []uint64{g.LeaseID}, now); n != 0 {
+		t.Fatalf("foreign heartbeat renewed %d leases", n)
+	}
+}
+
+func TestLeaseExpiryRequeuesWithDoublingBackoff(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{
+		TTL: time.Second, ReissueBackoff: 100 * time.Millisecond, ReissueBudget: 5,
+	}, "a")
+	table.Acquire("w1", 1, now)
+
+	requeued, failed, expired := table.ExpireDue(now.Add(time.Second))
+	if len(requeued) != 1 || len(failed) != 0 || expired != 1 {
+		t.Fatalf("want a requeued, got requeued=%v failed=%v expired=%d", requeued, failed, expired)
+	}
+	// Inside the backoff window nothing is granted.
+	at := now.Add(time.Second)
+	if g := table.Acquire("w2", 1, at.Add(50*time.Millisecond)); len(g) != 0 {
+		t.Fatalf("granted during re-issue backoff: %+v", g)
+	}
+	g := table.Acquire("w2", 1, at.Add(150*time.Millisecond))
+	if len(g) != 1 {
+		t.Fatalf("want grant after backoff, got %+v", g)
+	}
+	// Second expiry doubles the gate: 200ms now.
+	table.ExpireDue(at.Add(150 * time.Millisecond).Add(time.Second))
+	at2 := at.Add(150 * time.Millisecond).Add(time.Second)
+	if g := table.Acquire("w3", 1, at2.Add(150*time.Millisecond)); len(g) != 0 {
+		t.Fatalf("second backoff should be 200ms, got grant at 150ms: %+v", g)
+	}
+	if g := table.Acquire("w3", 1, at2.Add(250*time.Millisecond)); len(g) != 1 {
+		t.Fatal("no grant after doubled backoff elapsed")
+	}
+}
+
+func TestLeaseReissueBudgetExhaustion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second, ReissueBudget: 2}, "a")
+	for i := 0; ; i++ {
+		if i > 10 {
+			t.Fatal("budget never exhausted")
+		}
+		grants := table.Acquire("w1", 1, now)
+		if table.Done() {
+			break
+		}
+		if len(grants) != 1 {
+			t.Fatalf("round %d: want a grant, got %+v", i, grants)
+		}
+		now = now.Add(2 * time.Second)
+		table.ExpireDue(now)
+	}
+	res := table.Results()
+	if len(res) != 1 || res[0].Status != StatusFailed {
+		t.Fatalf("want failed result, got %+v", res)
+	}
+	if !strings.Contains(res[0].Error, "re-issue budget") {
+		t.Fatalf("error should name the budget: %q", res[0].Error)
+	}
+}
+
+func TestLeaseWorkStealing(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second, MaxHolders: 2}, "a", "b")
+	table.Acquire("w1", 1, now)
+	gb := table.Acquire("w1", 1, now)[0]
+	// Heartbeat b later so a holds the earlier expiry; the idle worker
+	// should shadow a first.
+	table.Heartbeat("w1", []uint64{gb.LeaseID}, now.Add(100*time.Millisecond))
+	stolen := table.Acquire("w2", 1, now.Add(500*time.Millisecond))
+	if len(stolen) != 1 || !stolen[0].Stolen || stolen[0].Job != "a" {
+		t.Fatalf("want a stolen grant on the earliest expiry (a), got %+v", stolen)
+	}
+	// Holder cap: no third holder on the same job, and w2 cannot
+	// shadow a job twice.
+	if g := table.Acquire("w3", 2, now.Add(600*time.Millisecond)); len(g) != 1 {
+		t.Fatalf("w3 should steal only the other job, got %+v", g)
+	} else if g[0].Job == stolen[0].Job {
+		t.Fatalf("third holder granted on %s", g[0].Job)
+	}
+	if g := table.Acquire("w4", 2, now.Add(700*time.Millisecond)); len(g) != 0 {
+		t.Fatalf("both jobs at MaxHolders, got %+v", g)
+	}
+	// Workers never steal their own leases.
+	if g := table.Acquire("w1", 2, now.Add(800*time.Millisecond)); len(g) != 0 {
+		t.Fatalf("w1 stole its own lease: %+v", g)
+	}
+}
+
+func TestLeaseCompleteFirstWinsAndDivergence(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a", "b")
+	table.Acquire("w1", 2, now)
+
+	first := JobResult{Name: "a", Status: StatusOK, Attempts: 1, Value: 1}
+	if out, err := table.Complete(first, "fp-1"); err != nil || out != CompleteAccepted {
+		t.Fatalf("first completion: %v %v", out, err)
+	}
+	// Identical fingerprint, different attempt count: a duplicate, not
+	// a divergence.
+	dup := JobResult{Name: "a", Status: StatusOK, Attempts: 3, Value: 1}
+	if out, _ := table.Complete(dup, "fp-1"); out != CompleteDuplicate {
+		t.Fatalf("want duplicate, got %v", out)
+	}
+	if out, _ := table.Complete(JobResult{Name: "a", Status: StatusOK, Value: 2}, "fp-2"); out != CompleteDivergent {
+		t.Fatal("divergent duplicate not flagged")
+	}
+	if d := table.Divergences(); len(d) != 1 || !strings.Contains(d[0], "job a") {
+		t.Fatalf("divergence not recorded: %v", d)
+	}
+	// The accepted result stands.
+	if res := table.Results(); len(res) != 1 || res[0].Value != 1 || res[0].Attempts != 1 {
+		t.Fatalf("accepted result mutated: %+v", res)
+	}
+	if _, err := table.Complete(JobResult{Name: "nope"}, ""); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if table.Done() {
+		t.Fatal("done with b outstanding")
+	}
+	if out, _ := table.Complete(JobResult{Name: "b", Status: StatusOK}, "fp-b"); out != CompleteAccepted {
+		t.Fatal("b not accepted")
+	}
+	if !table.Done() {
+		t.Fatal("not done after all jobs completed")
+	}
+}
+
+func TestLeaseCompletionFromExpiredLeaseStillWins(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a")
+	table.Acquire("w1", 1, now)
+	table.ExpireDue(now.Add(2 * time.Second)) // w1's lease lapses, job requeued
+	// w1 finishes anyway (it was partitioned, not dead) before the
+	// re-issued copy runs: first valid result wins.
+	if out, err := table.Complete(JobResult{Name: "a", Status: StatusOK}, "fp"); err != nil || out != CompleteAccepted {
+		t.Fatalf("late completion rejected: %v %v", out, err)
+	}
+	// The requeued entry must not be granted again.
+	if g := table.Acquire("w2", 1, now.Add(3*time.Second)); len(g) != 0 {
+		t.Fatalf("done job granted: %+v", g)
+	}
+}
+
+func TestLeaseCancelRemaining(t *testing.T) {
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a", "b", "c")
+	table.Acquire("w1", 1, time.Unix(1000, 0))
+	if out, _ := table.Complete(JobResult{Name: "a", Status: StatusOK}, "fp"); out != CompleteAccepted {
+		t.Fatal("setup completion failed")
+	}
+	if n := table.CancelRemaining("shutdown"); n != 2 {
+		t.Fatalf("canceled %d, want 2", n)
+	}
+	m := BuildManifest(table.Results())
+	if m.OK != 1 || m.Canceled != 2 {
+		t.Fatalf("manifest counts: %+v", m)
+	}
+	if !table.Done() {
+		t.Fatal("not done after cancel")
+	}
+}

@@ -39,6 +39,31 @@ grep -q '"status": "ok"' "$tmpdir/manifest.json"
 test -s "$tmpdir/metrics.jsonl"
 go run ./internal/obs/cmd/checksnap "$tmpdir/metrics.jsonl"
 
+echo "== distributed campaign smoke =="
+# One coordinator, two loopback workers, one SIGKILLed mid-campaign:
+# the dead worker's leases must expire and re-issue, and the merged
+# manifest must come out byte-identical to the single-process manifest
+# the supervised smoke above wrote for the same spec.
+go build -o "$tmpdir/stackmem" ./cmd/stackmem
+port=$((20000 + $$ % 20000))
+"$tmpdir/stackmem" -campaign -bench gauss -scale 0.05 -grid 16 \
+    -serve "127.0.0.1:$port" -lease-ttl 2s \
+    -manifest "$tmpdir/merged.json" \
+    -metrics-out "$tmpdir/dist-metrics.jsonl" 2>"$tmpdir/coord.log" &
+coord=$!
+"$tmpdir/stackmem" -campaign -worker "127.0.0.1:$port" -worker-name smoke-w1 \
+    -jobs 2 -retries 1 2>"$tmpdir/w1.log" &
+w1=$!
+"$tmpdir/stackmem" -campaign -worker "127.0.0.1:$port" -worker-name smoke-w2 \
+    -retries 1 2>"$tmpdir/w2.log" &
+w2=$!
+sleep 1
+kill -9 "$w2" 2>/dev/null || true
+wait "$coord"
+wait "$w1"
+cmp "$tmpdir/manifest.json" "$tmpdir/merged.json"
+grep -q dist_lease_grants "$tmpdir/dist-metrics.jsonl"
+
 echo "== checkpoint/resume smoke =="
 go run ./cmd/stackmem -checkpoint "$tmpdir/run.ckpt" -checkpoint-every 20000 \
     -bench gauss -scale 0.1 -capacity 32 >"$tmpdir/full.out"
