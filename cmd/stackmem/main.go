@@ -28,6 +28,11 @@
 //
 //	stackmem -campaign -serve :9090 -manifest merged.json
 //	stackmem -campaign -worker host:9090 -jobs 2 -worker-name w1
+//
+// Chaos drills (deterministic per -chaos-seed; serve and worker mode):
+//
+//	stackmem -campaign -serve :9090 -chaos-seed 7 -chaos-drop 5 -chaos-latency 2ms
+//	stackmem -campaign -worker host:9090 -chaos-seed 8 -chaos-partial 3
 package main
 
 import (
@@ -42,9 +47,11 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"diestack/internal/chaos"
 	"diestack/internal/core"
 	"diestack/internal/dist"
 	"diestack/internal/fault"
@@ -81,6 +88,7 @@ func main() {
 		workerName = flag.String("worker-name", "", "worker identity, unique per campaign (default hostname-pid)")
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "serve mode: lease time-to-live without a worker heartbeat")
 		leaseBdgt  = flag.Int("lease-budget", 0, "serve mode: lease re-issues per job before it is recorded failed (0 = 8)")
+		drainTO    = flag.Duration("drain-timeout", 0, "serve mode: grace for in-flight leases on SIGTERM/interrupt before recording the rest canceled (0 = 5s)")
 		ckptPath   = flag.String("checkpoint", "", "checkpoint file for a single-configuration supervised replay")
 		ckptEvery  = flag.Int("checkpoint-every", 1<<20, "records between checkpoint snapshots")
 		resumeFlag = flag.Bool("resume", false, "resume the -checkpoint replay from its last snapshot")
@@ -91,6 +99,12 @@ func main() {
 		faultUncorr = flag.Float64("fault-uncorr", 0, "uncorrectable ECC errors per million stacked-DRAM reads")
 		faultBanks  = flag.String("fault-dead-banks", "", "comma-separated dead stacked-DRAM bank indices")
 		faultTSV    = flag.Float64("fault-tsv", 0, "fraction of die-to-die via lanes failed, in [0,0.9]")
+
+		chaosSeed      = flag.Uint64("chaos-seed", 0, "network fault schedule seed (same seed = same faults)")
+		chaosDrop      = flag.Float64("chaos-drop", 0, "injected connection drops per thousand socket ops (serve/worker mode)")
+		chaosPartial   = flag.Float64("chaos-partial", 0, "injected torn writes per thousand socket ops (serve/worker mode)")
+		chaosPartition = flag.Float64("chaos-partition", 0, "injected one-way partitions per thousand socket ops (serve/worker mode)")
+		chaosLatency   = flag.Duration("chaos-latency", 0, "max injected per-op latency (serve/worker mode; 0 = none)")
 	)
 	cli = core.RegisterCLIFlags(flag.CommandLine, true)
 	flag.Parse()
@@ -126,10 +140,16 @@ func main() {
 		fatal(fmt.Errorf("-lease-budget must be non-negative, got %d", *leaseBdgt))
 	}
 	flag.Visit(func(f *flag.Flag) {
-		if (f.Name == "lease-ttl" || f.Name == "lease-budget") && *serveAddr == "" {
+		if (f.Name == "lease-ttl" || f.Name == "lease-budget" || f.Name == "drain-timeout") && *serveAddr == "" {
 			fatal(fmt.Errorf("-%s only applies to -serve mode", f.Name))
 		}
+		if strings.HasPrefix(f.Name, "chaos-") && *serveAddr == "" && *workerAddr == "" {
+			fatal(fmt.Errorf("-%s only applies to -serve or -worker mode", f.Name))
+		}
 	})
+	if *drainTO < 0 {
+		fatal(fmt.Errorf("-drain-timeout must be non-negative, got %v", *drainTO))
+	}
 	fc, err := faultConfig(*faultSeed, *faultCorr, *faultUncorr, *faultBanks, *faultTSV)
 	if err != nil {
 		fatal(err)
@@ -138,11 +158,16 @@ func main() {
 		fatal(err)
 	}
 	defer cli.Stop()
+	injector, err := chaosInjector(*chaosSeed, *chaosDrop, *chaosPartial, *chaosPartition, *chaosLatency)
+	if err != nil {
+		fatal(err)
+	}
 
-	// Interrupts cancel the run cooperatively: replays and solves
-	// observe the context and stop at the next check, leaving any
-	// checkpoint file intact for -resume.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Interrupts and SIGTERM cancel the run cooperatively: replays and
+	// solves observe the context and stop at the next check, leaving
+	// any checkpoint file intact for -resume; a serving coordinator
+	// drains gracefully and leaves its journal resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 && !*campaign {
 		var cancel context.CancelFunc
@@ -155,11 +180,11 @@ func main() {
 
 	switch {
 	case *campaign && *serveAddr != "":
-		if err := runCampaignServe(ctx, spec, *bench, *serveAddr, *leaseTTL, *leaseBdgt, *manifest); err != nil {
+		if err := runCampaignServe(ctx, spec, *bench, *serveAddr, *leaseTTL, *leaseBdgt, *drainTO, *manifest, injector); err != nil {
 			fatal(err)
 		}
 	case *campaign && *workerAddr != "":
-		if err := runCampaignWorker(ctx, *workerAddr, *workerName, *jobs, *retries, *timeout, *manifest); err != nil {
+		if err := runCampaignWorker(ctx, *workerAddr, *workerName, *jobs, *retries, *timeout, *manifest, injector); err != nil {
 			fatal(err)
 		}
 	case *campaign:
@@ -241,7 +266,8 @@ func runCampaign(ctx context.Context, rs core.RunSpec, bench string,
 // instead of rerunning finished jobs; the journal is removed once the
 // campaign runs to completion.
 func runCampaignServe(ctx context.Context, rs core.RunSpec, bench, addr string,
-	leaseTTL time.Duration, leaseBudget int, manifestPath string) error {
+	leaseTTL time.Duration, leaseBudget int, drainTimeout time.Duration,
+	manifestPath string, injector *chaos.Injector) error {
 	spec := core.CampaignSpec{Seed: rs.Seed, Scale: rs.Scale, Grid: rs.Grid,
 		Parallelism: rs.Parallelism}
 	if bench != "" {
@@ -263,18 +289,23 @@ func runCampaignServe(ctx context.Context, rs core.RunSpec, bench, addr string,
 	if manifestPath != "" {
 		journalPath = manifestPath + ".journal"
 	}
-	m, err := dist.RunCoordinator(ctx, dist.CoordinatorConfig{
+	cfg := dist.CoordinatorConfig{
 		Addr:          addr,
 		Jobs:          names,
 		SpecPayload:   payload,
 		LeaseTTL:      leaseTTL,
 		ReissueBudget: leaseBudget,
+		DrainTimeout:  drainTimeout,
 		JournalPath:   journalPath,
 		Obs:           cli.Obs(),
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if injector != nil {
+		cfg.Listen = injector.Listen
+	}
+	m, err := dist.RunCoordinator(ctx, cfg)
 	var integrity *dist.IntegrityError
 	if err != nil && !errors.As(err, &integrity) {
 		return err
@@ -305,7 +336,8 @@ func runCampaignServe(ctx context.Context, rs core.RunSpec, bench, addr string,
 // shard journal: on restart the journaled results are resubmitted so
 // finished work survives a worker crash.
 func runCampaignWorker(ctx context.Context, addr, name string,
-	parallel, retries int, timeout time.Duration, journalPath string) error {
+	parallel, retries int, timeout time.Duration, journalPath string,
+	injector *chaos.Injector) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -313,7 +345,7 @@ func runCampaignWorker(ctx context.Context, addr, name string,
 		}
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	return dist.RunWorker(ctx, dist.WorkerConfig{
+	cfg := dist.WorkerConfig{
 		Addr: addr,
 		Name: name,
 		MakeJobs: func(raw json.RawMessage) ([]harness.Job, error) {
@@ -338,7 +370,36 @@ func runCampaignWorker(ctx context.Context, addr, name string,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if injector != nil {
+		cfg.Dial = injector.Dial
+	}
+	return dist.RunWorker(ctx, cfg)
+}
+
+// chaosInjector assembles and validates the chaos flag group,
+// returning nil when no fault injection was requested.
+func chaosInjector(seed uint64, drop, partial, partition float64,
+	latency time.Duration) (*chaos.Injector, error) {
+	cfg := chaos.Config{
+		Seed:               seed,
+		DropPerKOp:         drop,
+		PartialWritePerKOp: partial,
+		PartitionPerKOp:    partition,
+		LatencyMax:         latency,
+		Obs:                cli.Obs(),
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	in, err := chaos.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos flags: %w", err)
+	}
+	return in, nil
 }
 
 // writeManifest writes m to path, or stdout when path is empty, and

@@ -1,0 +1,403 @@
+// Package chaos implements seedable, deterministic network fault
+// injection for the distributed campaign fabric: connection drops,
+// added latency, partial (torn) writes, and one-way partitions,
+// wrapped around ordinary net.Conn and net.Listener values.
+//
+// The package mirrors internal/fault's seeding idiom: every injection
+// decision is a pure function of (Seed, connection index, direction,
+// operation counter), drawn from the repo's own xoshiro generator
+// (internal/stats), so the same seed and the same per-connection
+// operation sequence reproduce the same fault schedule on every
+// platform. The injector never consults wall-clock time or global
+// randomness to *decide* anything; real time enters only as the sleep
+// that realizes an injected latency.
+//
+// Faults are expressed as rates per thousand socket operations (one
+// Read or Write call is one operation), matching internal/fault's
+// per-million-access rates in spirit while staying in a range where a
+// short campaign actually sees faults. Injection sites:
+//
+//   - drop: the connection is closed mid-operation; both sides see the
+//     close. Simulates a flaky link or a middlebox reset.
+//   - partial write: a prefix of the buffer is written, then the
+//     connection is closed. The peer receives a torn protocol line.
+//   - partition (one-way): the direction is black-holed from this
+//     operation on — inbound bytes are silently discarded (read side)
+//     or outbound bytes are swallowed unsent (write side) — while the
+//     opposite direction keeps flowing. Recovery is the peer's
+//     problem: deadlines and lease expiry, exactly as on real fleets.
+//   - latency: the operation is delayed by a deterministic fraction of
+//     LatencyMax.
+//
+// dist.CoordinatorConfig.Listen and dist.WorkerConfig.Dial accept the
+// injector's Listen/Dial hooks, so the same campaign binary can run
+// clean or under chaos without code changes.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"diestack/internal/obs"
+	"diestack/internal/stats"
+)
+
+// ErrInjected is wrapped by every error the injector fabricates, so
+// tests and logs can tell injected failures from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Metric names published to the obs registry, one counter per fault
+// kind plus a total.
+const (
+	MetricFaultsInjected = "chaos_faults_injected"
+	MetricDrops          = "chaos_drops"
+	MetricTornWrites     = "chaos_torn_writes"
+	MetricPartitions     = "chaos_partitions"
+	MetricLatencies      = "chaos_latency_injected"
+)
+
+// Config describes the fault environment of one injector. The zero
+// value injects nothing.
+type Config struct {
+	// Seed selects the deterministic fault schedule. Same seed + same
+	// per-connection operation sequence = identical faults.
+	Seed uint64
+
+	// DropPerKOp is the expected number of injected connection drops
+	// per thousand socket operations.
+	DropPerKOp float64
+	// PartialWritePerKOp is the expected number of torn writes per
+	// thousand write operations: a prefix of the buffer is written and
+	// the connection closed.
+	PartialWritePerKOp float64
+	// PartitionPerKOp is the expected number of one-way partitions per
+	// thousand socket operations. Once a direction partitions it stays
+	// partitioned until the connection closes.
+	PartitionPerKOp float64
+	// LatencyMax, when positive, delays every operation by a
+	// deterministic uniform fraction of this duration.
+	LatencyMax time.Duration
+
+	// Obs, when non-nil, receives the chaos_* fault counters.
+	Obs *obs.Registry
+	// Log, when non-nil, receives one line per injected fault.
+	Log func(format string, args ...any)
+}
+
+// Enabled reports whether the configuration injects anything at all.
+func (c Config) Enabled() bool {
+	return c.DropPerKOp > 0 || c.PartialWritePerKOp > 0 ||
+		c.PartitionPerKOp > 0 || c.LatencyMax > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropPerKOp", c.DropPerKOp},
+		{"PartialWritePerKOp", c.PartialWritePerKOp},
+		{"PartitionPerKOp", c.PartitionPerKOp},
+	} {
+		if r.v < 0 || r.v > 1000 || math.IsNaN(r.v) {
+			return fmt.Errorf("chaos: %s must be in [0, 1000], got %v", r.name, r.v)
+		}
+	}
+	if c.LatencyMax < 0 {
+		return fmt.Errorf("chaos: negative LatencyMax %v", c.LatencyMax)
+	}
+	return nil
+}
+
+// Kind classifies one injected fault.
+type Kind string
+
+const (
+	KindDrop         Kind = "drop"
+	KindPartialWrite Kind = "partial-write"
+	KindPartition    Kind = "partition"
+	KindLatency      Kind = "latency"
+)
+
+// Event records one injected fault for determinism checks: which
+// connection, which direction, which operation, what was injected.
+type Event struct {
+	Conn uint64
+	Dir  string // "read" or "write"
+	Op   uint64
+	Kind Kind
+}
+
+// Injector hands out chaos-wrapped connections and listeners. One
+// injector owns one deterministic schedule; connections are numbered
+// in creation order.
+type Injector struct {
+	cfg  Config
+	logf func(string, ...any)
+
+	mu       sync.Mutex
+	nextConn uint64
+	events   []Event
+
+	total, drops, torn, partitions, latencies *obs.Counter
+}
+
+// New builds an injector over cfg.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		cfg:        cfg,
+		logf:       cfg.Log,
+		total:      cfg.Obs.Counter(MetricFaultsInjected),
+		drops:      cfg.Obs.Counter(MetricDrops),
+		torn:       cfg.Obs.Counter(MetricTornWrites),
+		partitions: cfg.Obs.Counter(MetricPartitions),
+		latencies:  cfg.Obs.Counter(MetricLatencies),
+	}
+	if in.logf == nil {
+		in.logf = func(string, ...any) {}
+	}
+	return in, nil
+}
+
+// Events returns a copy of the injected-fault log, in injection order.
+// Per-connection subsequences are deterministic; interleaving across
+// concurrently used connections is not.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Wrap returns conn with this injector's fault schedule applied,
+// assigning the next connection index.
+func (in *Injector) Wrap(conn net.Conn) net.Conn {
+	in.mu.Lock()
+	id := in.nextConn
+	in.nextConn++
+	in.mu.Unlock()
+	return &faultConn{
+		Conn:  conn,
+		in:    in,
+		id:    id,
+		read:  newSide(in.cfg.Seed, id, dirRead),
+		write: newSide(in.cfg.Seed, id, dirWrite),
+	}
+}
+
+// Dial connects like a net.Dialer and wraps the result. It is shaped
+// for dist.WorkerConfig.Dial.
+func (in *Injector) Dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.Wrap(conn), nil
+}
+
+// Listen listens like net.Listen and wraps every accepted connection.
+// It is shaped for dist.CoordinatorConfig.Listen.
+func (in *Injector) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapListener(ln), nil
+}
+
+// WrapListener wraps an existing listener.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+// record logs one injected fault and bumps its counters.
+func (in *Injector) record(ev Event) {
+	in.mu.Lock()
+	in.events = append(in.events, ev)
+	in.mu.Unlock()
+	in.total.Inc()
+	switch ev.Kind {
+	case KindDrop:
+		in.drops.Inc()
+	case KindPartialWrite:
+		in.torn.Inc()
+	case KindPartition:
+		in.partitions.Inc()
+	case KindLatency:
+		in.latencies.Inc()
+	}
+	in.logf("chaos: conn %d %s op %d: %s", ev.Conn, ev.Dir, ev.Op, ev.Kind)
+}
+
+// faultListener wraps Accept.
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	conn, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.in.Wrap(conn), nil
+}
+
+const (
+	dirRead  = "read"
+	dirWrite = "write"
+)
+
+// side is one direction's deterministic draw stream. Each operation
+// consumes a fixed number of draws (drop, partial, partition,
+// magnitude) regardless of which rates are enabled, so enabling one
+// fault kind never perturbs another kind's schedule.
+type side struct {
+	dir string
+
+	mu          sync.Mutex
+	rng         *stats.RNG
+	op          uint64
+	partitioned bool
+}
+
+// newSide derives the direction's RNG from (seed, conn, dir) with a
+// splitmix-style mix, the same idiom internal/fault uses for its
+// per-domain streams.
+func newSide(seed, conn uint64, dir string) *side {
+	h := seed ^ (conn+1)*0x9e3779b97f4a7c15
+	if dir == dirWrite {
+		h ^= 0xbf58476d1ce4e5b9
+	}
+	return &side{dir: dir, rng: stats.NewRNG(h)}
+}
+
+// verdict is one operation's injection decision.
+type verdict struct {
+	kind Kind
+	op   uint64
+	frac float64 // magnitude draw: latency fraction or tear point
+}
+
+// next advances the draw stream one operation and picks at most one
+// fault, in fixed precedence order: drop, partial write (write side
+// only), partition, latency.
+func (s *side) next(cfg Config) verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.partitioned {
+		// The direction is already black-holed; the schedule for it is
+		// over.
+		return verdict{kind: KindPartition, op: s.op}
+	}
+	s.op++
+	uDrop := s.rng.Float64()
+	uPartial := s.rng.Float64()
+	uPartition := s.rng.Float64()
+	frac := s.rng.Float64()
+	v := verdict{op: s.op, frac: frac}
+	switch {
+	case uDrop*1000 < cfg.DropPerKOp:
+		v.kind = KindDrop
+	case s.dir == dirWrite && uPartial*1000 < cfg.PartialWritePerKOp:
+		v.kind = KindPartialWrite
+	case uPartition*1000 < cfg.PartitionPerKOp:
+		v.kind = KindPartition
+		s.partitioned = true
+	case cfg.LatencyMax > 0:
+		v.kind = KindLatency
+	}
+	return v
+}
+
+// faultConn applies the schedule to one connection. Deadlines, close,
+// and addresses pass through to the wrapped conn, so peers' read/write
+// deadlines still fire while a direction is partitioned.
+type faultConn struct {
+	net.Conn
+	in          *Injector
+	id          uint64
+	read, write *side
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	s := fc.read
+	s.mu.Lock()
+	already := s.partitioned
+	s.mu.Unlock()
+	if already {
+		return fc.discardReads()
+	}
+	v := s.next(fc.in.cfg)
+	switch v.kind {
+	case KindDrop:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindDrop})
+		fc.Conn.Close()
+		return 0, fmt.Errorf("chaos: conn %d read op %d dropped: %w", fc.id, v.op, ErrInjected)
+	case KindPartition:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindPartition})
+		return fc.discardReads()
+	case KindLatency:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindLatency})
+		time.Sleep(time.Duration(v.frac * float64(fc.in.cfg.LatencyMax)))
+	}
+	return fc.Conn.Read(p)
+}
+
+// discardReads realizes a read-side partition: inbound bytes keep
+// being consumed and thrown away, so the call blocks exactly like a
+// silent link until the conn's read deadline or close fires.
+func (fc *faultConn) discardReads() (int, error) {
+	var buf [4096]byte
+	for {
+		if _, err := fc.Conn.Read(buf[:]); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	s := fc.write
+	s.mu.Lock()
+	already := s.partitioned
+	s.mu.Unlock()
+	if already {
+		// Write-side partition: pretend success, send nothing.
+		return len(p), nil
+	}
+	v := s.next(fc.in.cfg)
+	switch v.kind {
+	case KindDrop:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindDrop})
+		fc.Conn.Close()
+		return 0, fmt.Errorf("chaos: conn %d write op %d dropped: %w", fc.id, v.op, ErrInjected)
+	case KindPartialWrite:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindPartialWrite})
+		n := 0
+		if len(p) > 1 {
+			n = 1 + int(v.frac*float64(len(p)-1))
+		}
+		if n > 0 {
+			n, _ = fc.Conn.Write(p[:n])
+		}
+		fc.Conn.Close()
+		return n, fmt.Errorf("chaos: conn %d write op %d torn after %d/%d bytes: %w",
+			fc.id, v.op, n, len(p), ErrInjected)
+	case KindPartition:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindPartition})
+		return len(p), nil
+	case KindLatency:
+		fc.in.record(Event{Conn: fc.id, Dir: s.dir, Op: v.op, Kind: KindLatency})
+		time.Sleep(time.Duration(v.frac * float64(fc.in.cfg.LatencyMax)))
+	}
+	return fc.Conn.Write(p)
+}

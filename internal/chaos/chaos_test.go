@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"diestack/internal/obs"
+)
+
+// scriptConns builds an in-memory pipe pair where the "near" end is
+// chaos-wrapped and the far end is serviced by a goroutine that echoes
+// whatever it receives. Returns the wrapped near end and a cleanup.
+func scriptConns(t *testing.T, in *Injector) (net.Conn, func()) {
+	t.Helper()
+	near, far := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1024)
+		for {
+			n, err := far.Read(buf)
+			if n > 0 {
+				if _, err := far.Write(buf[:n]); err != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	wrapped := in.Wrap(near)
+	return wrapped, func() {
+		near.Close()
+		far.Close()
+		<-done
+	}
+}
+
+// driveSchedule pushes a fixed single-threaded operation sequence
+// through one injector and returns the injected events. Errors from
+// injected faults are expected; the drive keeps going on fresh
+// connections when one dies.
+func driveSchedule(t *testing.T, cfg Config) []Event {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const conns = 4
+	const opsPerConn = 64
+	msg := []byte("0123456789abcdef0123456789abcdef\n")
+	for c := 0; c < conns; c++ {
+		conn, cleanup := scriptConns(t, in)
+		conn.SetDeadline(time.Now().Add(200 * time.Millisecond))
+		alive := true
+		for op := 0; op < opsPerConn && alive; op++ {
+			if _, err := conn.Write(msg); err != nil {
+				alive = false
+				break
+			}
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				alive = false
+			}
+		}
+		cleanup()
+	}
+	return in.Events()
+}
+
+// TestDeterministicSchedule is the acceptance check from ISSUE 7: same
+// seed + same operation schedule must reproduce the identical injected
+// fault sequence, and a different seed must not.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Seed:               42,
+		DropPerKOp:         30,
+		PartialWritePerKOp: 30,
+		PartitionPerKOp:    15,
+		LatencyMax:         time.Millisecond,
+	}
+	first := driveSchedule(t, cfg)
+	second := driveSchedule(t, cfg)
+	if len(first) == 0 {
+		t.Fatal("schedule injected no faults — rates too low for the drive")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed produced different fault sequences:\n%v\nvs\n%v", first, second)
+	}
+	cfg.Seed = 43
+	third := driveSchedule(t, cfg)
+	if reflect.DeepEqual(first, third) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestDropClosesConn: a drop verdict must surface ErrInjected and
+// close the underlying connection for the peer too.
+func TestDropClosesConn(t *testing.T) {
+	in, err := New(Config{Seed: 1, DropPerKOp: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, far := net.Pipe()
+	defer far.Close()
+	conn := in.Wrap(near)
+	_, werr := conn.Write([]byte("hello\n"))
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", werr)
+	}
+	far.SetReadDeadline(time.Now().Add(time.Second))
+	if _, rerr := far.Read(make([]byte, 8)); rerr != io.EOF && rerr != io.ErrClosedPipe {
+		t.Fatalf("peer read after drop = %v, want closed", rerr)
+	}
+}
+
+// TestPartialWriteTearsLine: the peer must receive a strict prefix of
+// the buffer, then see the connection close.
+func TestPartialWriteTearsLine(t *testing.T) {
+	in, err := New(Config{Seed: 7, PartialWritePerKOp: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, far := net.Pipe()
+	defer far.Close()
+	conn := in.Wrap(near)
+
+	msg := []byte("a complete protocol line that must arrive torn\n")
+	var got []byte
+	var rerr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, len(msg)*2)
+		for {
+			n, err := far.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				rerr = err
+				return
+			}
+		}
+	}()
+	n, werr := conn.Write(msg)
+	wg.Wait()
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", werr)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("torn write wrote %d of %d bytes, want a strict non-empty prefix", n, len(msg))
+	}
+	if !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("peer got %q, want prefix %q", got, msg[:n])
+	}
+	if rerr != io.EOF && rerr != io.ErrClosedPipe {
+		t.Fatalf("peer read ended with %v, want closed", rerr)
+	}
+}
+
+// TestWritePartitionBlackholes: after a write-side partition the
+// writer keeps "succeeding" but the peer sees nothing, while the read
+// side keeps working.
+func TestWritePartitionBlackholes(t *testing.T) {
+	in, err := New(Config{Seed: 3, PartitionPerKOp: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, far := net.Pipe()
+	defer near.Close()
+	defer far.Close()
+	conn := in.Wrap(near)
+
+	if n, err := conn.Write([]byte("swallowed\n")); err != nil || n != 10 {
+		t.Fatalf("partitioned write = (%d, %v), want (10, nil)", n, err)
+	}
+	far.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := far.Read(make([]byte, 16)); !errors.Is(err, io.ErrClosedPipe) && err == nil {
+		t.Fatal("peer received bytes through a write partition")
+	}
+}
+
+// TestReadPartitionRespectsDeadline: a partitioned read must block
+// like a silent link but still honor the read deadline, so peers with
+// IO timeouts cannot be wedged forever.
+func TestReadPartitionRespectsDeadline(t *testing.T) {
+	in, err := New(Config{Seed: 3, PartitionPerKOp: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, far := net.Pipe()
+	defer near.Close()
+	defer far.Close()
+	conn := in.Wrap(near)
+
+	go far.Write([]byte("bytes that must be discarded\n"))
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, rerr := conn.Read(make([]byte, 64))
+	if rerr == nil {
+		t.Fatal("partitioned read returned data")
+	}
+	var nerr net.Error
+	if !errors.As(rerr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("partitioned read error = %v, want deadline timeout", rerr)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("partitioned read ignored the deadline")
+	}
+}
+
+// TestLatencyOnly: with only latency enabled every operation still
+// succeeds and the event log records latency injections.
+func TestLatencyOnly(t *testing.T) {
+	reg := obs.NewRegistry()
+	in, err := New(Config{Seed: 5, LatencyMax: time.Millisecond, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, cleanup := scriptConns(t, in)
+	defer cleanup()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 8; i++ {
+		if _, err := conn.Write([]byte("ping\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if _, err := io.ReadFull(conn, make([]byte, 5)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	events := in.Events()
+	if len(events) != 16 {
+		t.Fatalf("got %d events, want 16 (one per op)", len(events))
+	}
+	for _, ev := range events {
+		if ev.Kind != KindLatency {
+			t.Fatalf("unexpected event kind %q with only latency enabled", ev.Kind)
+		}
+	}
+	if got := reg.CounterValue(MetricLatencies); got != 16 {
+		t.Fatalf("latency counter = %d, want 16", got)
+	}
+	if got := reg.CounterValue(MetricFaultsInjected); got != 16 {
+		t.Fatalf("total counter = %d, want 16", got)
+	}
+}
+
+// TestZeroConfigInjectsNothing: the zero config is a transparent
+// pass-through.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	in, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, cleanup := scriptConns(t, in)
+	defer cleanup()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 32; i++ {
+		if _, err := conn.Write([]byte("ping\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if _, err := io.ReadFull(conn, make([]byte, 5)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if events := in.Events(); len(events) != 0 {
+		t.Fatalf("zero config injected %d faults", len(events))
+	}
+}
+
+// TestValidate rejects out-of-range rates.
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DropPerKOp: -1},
+		{PartialWritePerKOp: 1001},
+		{PartitionPerKOp: -0.5},
+		{LatencyMax: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	if err := (Config{Seed: 9, DropPerKOp: 1000, LatencyMax: time.Second}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

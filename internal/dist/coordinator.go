@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,11 +58,26 @@ type CoordinatorConfig struct {
 	// Clock replaces time.Now for lease bookkeeping; tests inject a
 	// fake. Nil uses the wall clock.
 	Clock func() time.Time
+	// Listen overrides net.Listen; tests and the chaos layer
+	// (internal/chaos.Injector.Listen) interpose here. Nil listens
+	// plain TCP.
+	Listen func(network, addr string) (net.Listener, error)
+	// DrainTimeout bounds the graceful drain on cancellation: the
+	// coordinator stops granting new leases but keeps accepting
+	// heartbeats and in-flight results for up to this long before
+	// recording the rest canceled and exiting with a resumable journal
+	// (0 = 5s).
+	DrainTimeout time.Duration
+	// IOTimeout bounds each per-connection socket read/write, so one
+	// hung or partitioned peer cannot wedge its serve loop forever
+	// (0 = 4×LeaseTTL, floored at 10s — comfortably past the longest
+	// silence a live worker's pull/heartbeat cadence allows).
+	IOTimeout time.Duration
 }
 
-// drainTimeout is how long a finished coordinator keeps answering
-// "done" to trailing pulls before force-closing connections.
-const drainTimeout = 2 * time.Second
+// doneGrace is how long a finished coordinator keeps answering "done"
+// to trailing pulls before force-closing connections.
+const doneGrace = 2 * time.Second
 
 // coordinator is the running state behind RunCoordinator.
 type coordinator struct {
@@ -78,6 +94,9 @@ type coordinator struct {
 	done     chan struct{} // closed when every job has a terminal result
 	doneOnce sync.Once
 	shutdown atomic.Bool // stops new grants/results during teardown
+	draining atomic.Bool // drain window: no new grants, results still merge
+
+	ioTimeout time.Duration
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -87,6 +106,8 @@ type coordinator struct {
 	accepted, duplicate, divergent    *obs.Counter
 	jobsDone, jobsFailed              *obs.Counter
 	budgetFailed                      *obs.Counter
+	drains, protoViolations           *obs.Counter
+	connTimeouts                      *obs.Counter
 	workers                           *obs.Gauge
 }
 
@@ -132,6 +153,13 @@ func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*harness.Manife
 	if c.now == nil {
 		c.now = time.Now
 	}
+	c.ioTimeout = cfg.IOTimeout
+	if c.ioTimeout == 0 {
+		c.ioTimeout = 4 * cfg.LeaseTTL
+		if c.ioTimeout < 10*time.Second {
+			c.ioTimeout = 10 * time.Second
+		}
+	}
 	c.bindObs(cfg.Obs)
 
 	sp := cfg.Obs.StartSpan("dist/campaign")
@@ -145,7 +173,11 @@ func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*harness.Manife
 	}
 	c.checkDone()
 
-	ln, err := net.Listen("tcp", cfg.Addr)
+	listen := cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +205,12 @@ func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*harness.Manife
 	select {
 	case <-c.done:
 	case <-ctx.Done():
+		// Graceful drain: the listener stays open (workers mid-reconnect
+		// may still return), heartbeats keep renewing, in-flight results
+		// keep merging — only new grants stop. The bounded wait below
+		// runs before any teardown.
 		canceled = true
+		c.drain()
 	}
 	c.shutdown.Store(true)
 	close(expiryStop)
@@ -182,18 +219,25 @@ func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*harness.Manife
 	if canceled {
 		c.mu.Lock()
 		n := c.table.CancelRemaining(ctx.Err().Error())
+		var syncErr error
+		if c.journal != nil {
+			syncErr = c.journal.Sync()
+		}
 		c.mu.Unlock()
-		c.logf("coordinator: campaign canceled, %d job(s) recorded canceled", n)
+		if syncErr != nil && !errors.Is(syncErr, os.ErrClosed) {
+			c.fatal(fmt.Errorf("dist: journal sync on drain: %w", syncErr))
+		}
+		c.logf("coordinator: drained, %d unfinished job(s) recorded canceled (journal resumable)", n)
 		c.closeConns()
 	} else {
 		// Give workers a moment to pull their "done" and exit cleanly;
 		// dead peers (crashed or partitioned) are force-closed after
-		// the drain window.
+		// the grace window.
 		drained := make(chan struct{})
 		go func() { c.wg.Wait(); close(drained) }()
 		select {
 		case <-drained:
-		case <-time.After(drainTimeout):
+		case <-time.After(doneGrace):
 			c.closeConns()
 		}
 	}
@@ -213,6 +257,49 @@ func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*harness.Manife
 	return m, nil
 }
 
+// drain waits out the graceful-shutdown window: new grants have
+// stopped (handlePull answers "wait" while draining), and the
+// coordinator gives in-flight leases up to DrainTimeout to land their
+// results before the rest of the campaign is recorded canceled. It
+// returns early when the table empties of live leases or finishes
+// outright; the expiry loop keeps running throughout, so a lease whose
+// worker died during the drain still lapses instead of pinning the
+// window open.
+func (c *coordinator) drain() {
+	c.draining.Store(true)
+	c.drains.Inc()
+	timeout := c.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c.mu.Lock()
+	inFlight := c.table.Leased()
+	c.mu.Unlock()
+	c.logf("coordinator: draining — no new grants, waiting up to %v for %d in-flight lease(s)",
+		timeout, inFlight)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-deadline.C:
+			c.logf("coordinator: drain window closed after %v", timeout)
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			leased := c.table.Leased()
+			c.mu.Unlock()
+			if leased == 0 {
+				c.logf("coordinator: drain complete, no leases in flight")
+				return
+			}
+		}
+	}
+}
+
 // bindObs installs the coordinator's instruments (no-ops on nil).
 func (c *coordinator) bindObs(reg *obs.Registry) {
 	c.grants = reg.Counter(obs.MetricLeaseGrants)
@@ -225,6 +312,9 @@ func (c *coordinator) bindObs(reg *obs.Registry) {
 	c.jobsDone = reg.Counter(obs.MetricJobsDone)
 	c.jobsFailed = reg.Counter(obs.MetricJobsFailed)
 	c.budgetFailed = reg.Counter("dist_lease_budget_failures")
+	c.drains = reg.Counter(obs.MetricCoordinatorDrains)
+	c.protoViolations = reg.Counter(obs.MetricProtoViolations)
+	c.connTimeouts = reg.Counter(obs.MetricConnTimeouts)
 	c.workers = reg.Gauge(obs.MetricWorkersConnected)
 	reg.Gauge(obs.MetricJobsTotal).Set(float64(len(c.cfg.Jobs)))
 }
@@ -341,6 +431,11 @@ func (c *coordinator) expireLoop(stop <-chan struct{}) {
 					c.fatal(err)
 					return
 				}
+				// Budget failures are coordinator-fabricated: mark them so
+				// a journal replay recomputes the same empty fingerprint
+				// the live table recorded, and a straggling real result
+				// dedups identically on a resumed coordinator.
+				wr.Synthetic = true
 				failedResults = append(failedResults, wr)
 			}
 		}
@@ -373,12 +468,18 @@ func (c *coordinator) expireLoop(stop <-chan struct{}) {
 }
 
 // serve handles one worker connection until it closes or the
-// coordinator shuts down.
+// coordinator shuts down. Reads and writes run under the
+// per-connection IO deadline; a peer gone silent past it is closed and
+// counted, and protocol violations (oversized or malformed lines) are
+// answered and counted rather than silently dropped — on a fleet, the
+// difference between "flaky network" and "version-skewed worker" is
+// exactly this accounting.
 func (c *coordinator) serve(conn net.Conn) {
 	defer c.wg.Done()
 	defer c.track(conn, false)
 	defer conn.Close()
 	lc := newLineConn(conn)
+	lc.ioTimeout = c.ioTimeout
 	worker := ""
 	defer func() {
 		if worker != "" {
@@ -386,21 +487,52 @@ func (c *coordinator) serve(conn net.Conn) {
 			c.logf("coordinator: worker %s disconnected", worker)
 		}
 	}()
+	violation := func(msg string) {
+		c.protoViolations.Inc()
+		who := worker
+		if who == "" {
+			who = conn.RemoteAddr().String()
+		}
+		c.logf("coordinator: protocol violation from %s: %s", who, msg)
+	}
 	for {
 		req, err := lc.readRequest()
 		if err != nil {
-			return // EOF, reset, or garbage: leases expire on their own
+			var pe *ProtocolError
+			switch {
+			case errors.As(err, &pe):
+				// The peer spoke, just wrongly: tell it why before
+				// hanging up, and account for the violation.
+				violation(pe.Reason)
+				lc.writeJSON(response{Type: "error", Err: pe.Reason})
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				c.connTimeouts.Inc()
+				c.logf("coordinator: connection from %s idle past %v, closing (worker %q)",
+					conn.RemoteAddr(), c.ioTimeout, worker)
+			}
+			return // leases expire on their own
 		}
 		var resp response
 		switch req.Type {
 		case "hello":
 			if req.Proto != protoVersion {
+				violation(fmt.Sprintf("protocol version %d, want %d", req.Proto, protoVersion))
 				lc.writeJSON(response{Type: "error",
 					Err: fmt.Sprintf("protocol version %d, want %d", req.Proto, protoVersion)})
 				return
 			}
 			if req.Worker == "" {
+				violation("hello without a worker name")
 				lc.writeJSON(response{Type: "error", Err: "hello without a worker name"})
+				return
+			}
+			if req.SpecHash != "" && req.SpecHash != c.hash {
+				// A reconnecting worker from a different campaign (or a
+				// coordinator restarted with a different spec): fence it
+				// off before it pulls mismatched jobs.
+				lc.writeJSON(response{Type: "error",
+					Err: fmt.Sprintf("spec hash %.12s.. does not match this campaign's %.12s..",
+						req.SpecHash, c.hash)})
 				return
 			}
 			if worker == "" {
@@ -420,6 +552,7 @@ func (c *coordinator) serve(conn net.Conn) {
 		case "result":
 			resp = c.handleResult(worker, req)
 		default:
+			violation(fmt.Sprintf("unknown request type %q", req.Type))
 			resp = response{Type: "error", Err: fmt.Sprintf("unknown request type %q", req.Type)}
 		}
 		if err := lc.writeJSON(resp); err != nil {
@@ -433,6 +566,14 @@ func (c *coordinator) handlePull(worker string, req request) response {
 	if worker == "" {
 		return response{Type: "error", Err: "pull before hello"}
 	}
+	if c.draining.Load() {
+		// Draining (and the teardown that follows it): grant nothing,
+		// but answer "wait" rather than "done" so workers linger — their
+		// in-flight results are still wanted, and if the coordinator is
+		// being restarted (rolling upgrade) they should reconnect to its
+		// successor instead of exiting as if the campaign finished.
+		return c.waitResponse()
+	}
 	if c.shutdown.Load() {
 		return response{Type: "done"}
 	}
@@ -444,14 +585,7 @@ func (c *coordinator) handlePull(worker string, req request) response {
 	grants := c.table.Acquire(worker, req.Max, c.now())
 	c.mu.Unlock()
 	if len(grants) == 0 {
-		wait := c.cfg.LeaseTTL / 10
-		if wait < 20*time.Millisecond {
-			wait = 20 * time.Millisecond
-		}
-		if wait > 500*time.Millisecond {
-			wait = 500 * time.Millisecond
-		}
-		return response{Type: "wait", WaitMS: wait.Milliseconds()}
+		return c.waitResponse()
 	}
 	wire := make([]wireGrant, len(grants))
 	for i, g := range grants {
@@ -463,6 +597,19 @@ func (c *coordinator) handlePull(worker string, req request) response {
 		}
 	}
 	return response{Type: "grant", Grants: wire}
+}
+
+// waitResponse tells a worker to poll again shortly, at a tenth of the
+// lease TTL clamped to [20ms, 500ms].
+func (c *coordinator) waitResponse() response {
+	wait := c.cfg.LeaseTTL / 10
+	if wait < 20*time.Millisecond {
+		wait = 20 * time.Millisecond
+	}
+	if wait > 500*time.Millisecond {
+		wait = 500 * time.Millisecond
+	}
+	return response{Type: "wait", WaitMS: wait.Milliseconds()}
 }
 
 // handleResult merges one submitted result.

@@ -129,6 +129,12 @@ func (j *journal) load(hash string, jobs int) (results []wireResult, keep int64,
 	if errors.Is(err, io.EOF) && len(header) == 0 {
 		return nil, -1, nil
 	}
+	if errors.Is(err, io.EOF) && !bytes.HasSuffix(header, []byte("\n")) {
+		// The crash tore the header append itself. Nothing can have been
+		// acknowledged through a journal whose header never finished, so
+		// starting fresh loses nothing.
+		return nil, -1, nil
+	}
 	var offset int64
 	var h journalHeader
 	if err != nil || json.Unmarshal(bytes.TrimRight(header, "\n"), &h) != nil || h.Magic != journalMagic {
@@ -150,6 +156,16 @@ func (j *journal) load(hash string, jobs int) (results []wireResult, keep int64,
 			return nil, 0, err
 		}
 		if len(line) == 0 && atEOF {
+			return results, offset, nil
+		}
+		if atEOF && !bytes.HasSuffix(line, []byte("\n")) {
+			// A final line with no terminating newline is torn even when
+			// its bytes happen to decode and CRC-check (the tear can land
+			// exactly on the CRC boundary): the append never finished, so
+			// the result was never acknowledged and dropping it is safe.
+			// Keeping it would be worse than losing it — the truncation
+			// point must sit at the newline, or the next append would
+			// concatenate onto this line and corrupt both records.
 			return results, offset, nil
 		}
 		res, perr := parseJournalLine(bytes.TrimRight(line, "\n"))
@@ -212,6 +228,11 @@ func (j *journal) appendLine(line []byte) error {
 	}
 	return nil
 }
+
+// Sync flushes the journal to stable storage. Appends already sync
+// per line; this is the drain path's belt-and-suspenders barrier
+// before the coordinator exits with a resumable journal.
+func (j *journal) Sync() error { return j.f.Sync() }
 
 // Close releases the file handle.
 func (j *journal) Close() error { return j.f.Close() }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"diestack/internal/harness"
 )
@@ -31,6 +32,20 @@ const protoVersion = 1
 // maxLineBytes bounds one protocol line; a job value bigger than this
 // is a bug, not a workload.
 const maxLineBytes = 16 << 20
+
+// ProtocolError marks a peer speaking the protocol wrong — an
+// oversized line, unparseable JSON, an unknown request type — as
+// distinct from transport failures (resets, timeouts, EOF). The
+// coordinator accounts for violations separately (dist_proto_violations)
+// instead of silently dropping the connection, because a protocol
+// violation means a version skew or a bug, never a flaky network.
+type ProtocolError struct {
+	Reason string
+}
+
+func (e *ProtocolError) Error() string {
+	return "dist: protocol violation: " + e.Reason
+}
 
 // request is a worker-to-coordinator message.
 type request struct {
@@ -77,6 +92,14 @@ type wireResult struct {
 	Error    string          `json:"error,omitempty"`
 	Stack    string          `json:"stack,omitempty"`
 	Value    json.RawMessage `json:"value,omitempty"`
+	// Synthetic marks a terminal result the coordinator fabricated
+	// itself (re-issue budget exhaustion) rather than received from a
+	// worker execution. It matters for the journal: a synthetic result
+	// has no execution content to diverge from, so its fingerprint is
+	// empty and a straggling real result replayed against it dedups as
+	// a duplicate instead of a divergence — on a resumed coordinator
+	// exactly as on the original one.
+	Synthetic bool `json:"synthetic,omitempty"`
 }
 
 // encodeResult converts a finished job's result for the wire.
@@ -120,6 +143,9 @@ func (w wireResult) jobResult() harness.JobResult {
 // retry a different number of times or capture different goroutine
 // stacks without the *result* diverging.
 func (w wireResult) fingerprint() string {
+	if w.Synthetic {
+		return ""
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x1f%s\x1f", w.Status, w.Error)
 	h.Write(w.Value)
@@ -135,11 +161,15 @@ func specHash(payload []byte) string {
 // lineConn frames line-delimited JSON messages over a net.Conn. The
 // worker side serializes whole request/response exchanges under mu so
 // its job goroutines and heartbeat loop can share one connection.
+// A nonzero ioTimeout arms a fresh read/write deadline before every
+// socket operation, so a hung or partitioned peer surfaces as
+// os.ErrDeadlineExceeded instead of wedging the loop forever.
 type lineConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	mu   sync.Mutex
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	mu        sync.Mutex
+	ioTimeout time.Duration
 }
 
 func newLineConn(conn net.Conn) *lineConn {
@@ -155,6 +185,11 @@ func (lc *lineConn) writeJSON(v any) error {
 	if len(raw) > maxLineBytes {
 		return fmt.Errorf("dist: message of %d bytes exceeds the %d-byte line cap", len(raw), maxLineBytes)
 	}
+	if lc.ioTimeout > 0 {
+		if err := lc.conn.SetWriteDeadline(time.Now().Add(lc.ioTimeout)); err != nil {
+			return err
+		}
+	}
 	if _, err := lc.w.Write(raw); err != nil {
 		return err
 	}
@@ -166,12 +201,17 @@ func (lc *lineConn) writeJSON(v any) error {
 
 // readLine reads one newline-terminated line, enforcing the cap.
 func (lc *lineConn) readLine() ([]byte, error) {
+	if lc.ioTimeout > 0 {
+		if err := lc.conn.SetReadDeadline(time.Now().Add(lc.ioTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	var line []byte
 	for {
 		chunk, err := lc.r.ReadSlice('\n')
 		line = append(line, chunk...)
 		if len(line) > maxLineBytes {
-			return nil, fmt.Errorf("dist: line exceeds the %d-byte cap", maxLineBytes)
+			return nil, &ProtocolError{Reason: fmt.Sprintf("line exceeds the %d-byte cap", maxLineBytes)}
 		}
 		if err == nil {
 			return line[:len(line)-1], nil
@@ -190,7 +230,7 @@ func (lc *lineConn) readRequest() (request, error) {
 	}
 	var req request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return request{}, fmt.Errorf("dist: malformed request: %w", err)
+		return request{}, &ProtocolError{Reason: fmt.Sprintf("malformed request: %v", err)}
 	}
 	return req, nil
 }

@@ -1,0 +1,545 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diestack/internal/harness"
+	"diestack/internal/obs"
+)
+
+// grabDialer is a WorkerConfig.Dial hook that remembers every
+// connection it opened, so a test can sever the live one mid-campaign.
+type grabDialer struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (g *grabDialer) Dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.conns = append(g.conns, conn)
+	g.mu.Unlock()
+	return conn, nil
+}
+
+func (g *grabDialer) closeLatest() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n := len(g.conns); n > 0 {
+		g.conns[n-1].Close()
+	}
+}
+
+func (g *grabDialer) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.conns)
+}
+
+// TestWorkerReconnectsMidLease is the acceptance test for mid-stream
+// reconnect: the worker's coordinator connection is severed while it
+// holds a live lease; the worker must redial, re-hello under the same
+// name and spec hash, finish the campaign, and the manifest must still
+// be byte-identical to a single-process run with no divergent results.
+func TestWorkerReconnectsMidLease(t *testing.T) {
+	const n = 12
+	spec := testSpec{N: n, Every: 5}
+	golden := singleProcessManifest(t, spec)
+
+	started := make(chan struct{})
+	var once sync.Once
+	slowMakeJobs := func(raw json.RawMessage) ([]harness.Job, error) {
+		jobs, err := testMakeJobs(raw)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			run := jobs[i].Run
+			jobs[i].Run = func(ctx context.Context) (any, error) {
+				once.Do(func() { close(started) })
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(50 * time.Millisecond):
+				}
+				return run(ctx)
+			}
+		}
+		return jobs, nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	coordReg := obs.NewRegistry()
+	addr, out := startCoordinator(t, ctx, CoordinatorConfig{
+		Jobs:        jobNames(testJobs(spec)),
+		SpecPayload: mustPayload(t, spec),
+		LeaseTTL:    2 * time.Second,
+		Obs:         coordReg,
+	})
+
+	dialer := &grabDialer{}
+	workerReg := obs.NewRegistry()
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- RunWorker(ctx, WorkerConfig{
+			Addr:            addr,
+			Name:            "flaky",
+			MakeJobs:        slowMakeJobs,
+			Parallel:        1,
+			Dial:            dialer.Dial,
+			ReconnectBudget: 30 * time.Second,
+			HeartbeatEvery:  100 * time.Millisecond,
+			Obs:             workerReg,
+		})
+	}()
+
+	// Sever the connection while the first leased job is running: the
+	// result submission (and the next heartbeat) hit a dead socket.
+	select {
+	case <-started:
+	case <-time.After(20 * time.Second):
+		t.Fatal("no job ever started")
+	}
+	dialer.closeLatest()
+
+	o := waitOutcome(t, out)
+	if o.err != nil {
+		t.Fatalf("coordinator: %v", o.err)
+	}
+	if err := <-workerErr; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	if got := manifestBytes(t, o.m); !bytes.Equal(got, golden) {
+		t.Errorf("manifest differs from single-process golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+	if got := workerReg.CounterValue(obs.MetricWorkerReconnects); got < 1 {
+		t.Errorf("worker reconnects = %d, want >= 1", got)
+	}
+	if dialer.count() < 2 {
+		t.Errorf("dial hook saw %d connection(s), want >= 2 (initial + reconnect)", dialer.count())
+	}
+	if got := coordReg.CounterValue(obs.MetricResultsDivergent); got != 0 {
+		t.Errorf("divergent results = %d, want 0", got)
+	}
+	if got := coordReg.CounterValue(obs.MetricResultsAccepted); got != n {
+		t.Errorf("accepted = %d, want %d (no lost or double-counted jobs)", got, n)
+	}
+}
+
+// TestCoordinatorDrainAcceptsInFlightThenResumes: cancellation puts
+// the coordinator into a bounded drain during which an in-flight
+// result still merges; the journal survives, and a restarted
+// coordinator resumes from it to a byte-identical final manifest.
+func TestCoordinatorDrainAcceptsInFlightThenResumes(t *testing.T) {
+	spec := testSpec{N: 6}
+	golden := singleProcessManifest(t, spec)
+	payload := mustPayload(t, spec)
+	jpath := filepath.Join(t.TempDir(), "merge.journal")
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	reg1 := obs.NewRegistry()
+	addr, out := startCoordinator(t, ctx1, CoordinatorConfig{
+		Jobs:         jobNames(testJobs(spec)),
+		SpecPayload:  payload,
+		LeaseTTL:     10 * time.Second,
+		DrainTimeout: 5 * time.Second,
+		JournalPath:  jpath,
+		Obs:          reg1,
+	})
+
+	pc := dialProto(t, addr, "w0")
+	grant := pc.roundTrip(request{Type: "pull", Worker: "w0", Max: 1})
+	if grant.Type != "grant" || len(grant.Grants) != 1 {
+		t.Fatalf("pull: got %+v", grant)
+	}
+	job := grant.Grants[0].Job
+
+	// SIGTERM equivalent: the context is cut while the lease is live.
+	cancel1()
+	time.Sleep(250 * time.Millisecond) // let the coordinator enter its drain window
+
+	// During the drain, pulls get "wait" (not "done": the worker should
+	// linger for a possible coordinator restart) and results still merge.
+	if resp := pc.roundTrip(request{Type: "pull", Worker: "w0", Max: 1}); resp.Type != "wait" {
+		t.Errorf("pull during drain: got %q, want wait", resp.Type)
+	}
+	wr := &wireResult{Name: job, Status: harness.StatusOK, Attempts: 1,
+		Value: json.RawMessage(fmt.Sprintf(`{"job":%q,"sum":0}`, job))}
+	if resp := pc.roundTrip(request{Type: "result", Worker: "w0", Result: wr}); resp.Outcome != "accepted" {
+		t.Errorf("result during drain: outcome %q, want accepted", resp.Outcome)
+	}
+
+	o := waitOutcome(t, out)
+	if o.err != nil {
+		t.Fatalf("drained coordinator: %v", o.err)
+	}
+	if res, ok := o.m.Result(job); !ok || res.Status != harness.StatusOK {
+		t.Errorf("drained manifest lost the in-flight result: %+v", res)
+	}
+	if o.m.Canceled != spec.N-1 {
+		t.Errorf("canceled = %d, want %d", o.m.Canceled, spec.N-1)
+	}
+	if got := reg1.CounterValue(obs.MetricCoordinatorDrains); got != 1 {
+		t.Errorf("drains = %d, want 1", got)
+	}
+
+	// The restarted coordinator resumes the journal: the drained
+	// result is replayed, only the remaining jobs are granted.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	reg2 := obs.NewRegistry()
+	addr2, out2 := startCoordinator(t, ctx2, CoordinatorConfig{
+		Jobs:        jobNames(testJobs(spec)),
+		SpecPayload: payload,
+		LeaseTTL:    5 * time.Second,
+		JournalPath: jpath,
+		Obs:         reg2,
+	})
+	go func() {
+		if err := RunWorker(ctx2, WorkerConfig{Addr: addr2, Name: "w1", MakeJobs: testMakeJobs}); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	o2 := waitOutcome(t, out2)
+	if o2.err != nil {
+		t.Fatalf("resumed coordinator: %v", o2.err)
+	}
+	if got := manifestBytes(t, o2.m); !bytes.Equal(got, golden) {
+		t.Errorf("resumed manifest differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+	if got := reg2.CounterValue(obs.MetricLeaseGrants); got != uint64(spec.N-1) {
+		t.Errorf("grants after resume = %d, want %d (drained result must not re-run)", got, spec.N-1)
+	}
+}
+
+// TestCoordinatorDrainTimeoutBoundsShutdown: a lease that never
+// completes cannot pin the drain open past DrainTimeout.
+func TestCoordinatorDrainTimeoutBoundsShutdown(t *testing.T) {
+	spec := testSpec{N: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, out := startCoordinator(t, ctx, CoordinatorConfig{
+		Jobs:         jobNames(testJobs(spec)),
+		SpecPayload:  mustPayload(t, spec),
+		LeaseTTL:     30 * time.Second, // lease outlives the drain window
+		DrainTimeout: 300 * time.Millisecond,
+	})
+	pc := dialProto(t, addr, "w0")
+	if resp := pc.roundTrip(request{Type: "pull", Worker: "w0", Max: 1}); resp.Type != "grant" {
+		t.Fatalf("pull: got %q", resp.Type)
+	}
+
+	start := time.Now()
+	cancel()
+	o := waitOutcome(t, out)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("drain held shutdown for %v, want ~DrainTimeout", elapsed)
+	}
+	if o.err != nil {
+		t.Fatalf("coordinator: %v", o.err)
+	}
+	if o.m.Canceled != spec.N {
+		t.Errorf("canceled = %d, want %d", o.m.Canceled, spec.N)
+	}
+}
+
+// TestServeRecordsProtocolViolations: malformed lines, unknown request
+// types, and oversized lines must be answered with an error and
+// counted, not silently dropped.
+func TestServeRecordsProtocolViolations(t *testing.T) {
+	spec := testSpec{N: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := obs.NewRegistry()
+	addr, _ := startCoordinator(t, ctx, CoordinatorConfig{
+		Jobs:        jobNames(testJobs(spec)),
+		SpecPayload: mustPayload(t, spec),
+		LeaseTTL:    5 * time.Second,
+		Obs:         reg,
+	})
+
+	readLine := func(t *testing.T, conn net.Conn) response {
+		t.Helper()
+		lc := newLineConn(conn)
+		line, err := lc.readLine()
+		if err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		var resp response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("decoding response %q: %v", line, err)
+		}
+		return resp
+	}
+
+	// Garbage that is not JSON at all.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "this is not a protocol line\n")
+	if resp := readLine(t, conn); resp.Type != "error" || !strings.Contains(resp.Err, "malformed") {
+		t.Errorf("garbage line: got %+v, want malformed-request error", resp)
+	}
+	conn.Close()
+
+	// A well-formed request of an unknown type, after a valid hello.
+	pc := dialProto(t, addr, "w0")
+	if resp, err := pc.lc.roundTrip(request{Type: "gossip", Worker: "w0"}); err == nil || resp.Type != "error" {
+		t.Errorf("unknown type: got %+v (err %v), want error response", resp, err)
+	}
+
+	// A line past the 16MB cap. The reader gives up mid-line, so the
+	// error response can arrive while the writer is still pushing bytes.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	go func() {
+		huge := bytes.Repeat([]byte("x"), 1<<20)
+		for i := 0; i < 18; i++ {
+			if _, err := conn2.Write(huge); err != nil {
+				return
+			}
+		}
+		conn2.Write([]byte("\n"))
+	}()
+	if resp := readLine(t, conn2); resp.Type != "error" || !strings.Contains(resp.Err, "cap") {
+		t.Errorf("oversized line: got %+v, want line-cap error", resp)
+	}
+
+	if got := reg.CounterValue(obs.MetricProtoViolations); got != 3 {
+		t.Errorf("proto violations = %d, want 3", got)
+	}
+}
+
+// TestHelloRejectsSpecHashMismatch: a reconnecting worker carrying a
+// different campaign's spec hash is fenced off at hello.
+func TestHelloRejectsSpecHashMismatch(t *testing.T) {
+	spec := testSpec{N: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, _ := startCoordinator(t, ctx, CoordinatorConfig{
+		Jobs:        jobNames(testJobs(spec)),
+		SpecPayload: mustPayload(t, spec),
+		LeaseTTL:    5 * time.Second,
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	lc := newLineConn(conn)
+	_, rerr := lc.roundTrip(request{Type: "hello", Proto: protoVersion,
+		Worker: "stale", SpecHash: strings.Repeat("ab", 32)})
+	if rerr == nil || !strings.Contains(rerr.Error(), "spec hash") {
+		t.Errorf("mismatched hello: err = %v, want spec-hash rejection", rerr)
+	}
+	// The same hash the coordinator advertises is accepted.
+	pc := dialProto(t, addr, "w-probe")
+	hello := pc.roundTrip(request{Type: "hello", Proto: protoVersion,
+		Worker: "w-probe", SpecHash: specHash(mustPayload(t, spec))})
+	if hello.Type != "spec" {
+		t.Errorf("matching hello: got %q, want spec", hello.Type)
+	}
+}
+
+// TestJournalTruncatesUnterminatedTail: a final line that parses and
+// CRC-checks but lacks its terminating newline is still a torn append
+// — keeping it would make the next append concatenate onto it and
+// corrupt both records. It must be truncated away.
+func TestJournalTruncatesUnterminatedTail(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "merge.journal")
+	j, _, err := openJournal(jpath, "hash", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.append(wireResult{Name: fmt.Sprintf("job-%d", i), Status: harness.StatusOK,
+			Attempts: 1, Value: json.RawMessage(`{"x":1}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Chop exactly the final newline: the last line's bytes are intact
+	// — the tear lands exactly on the CRC boundary — but the append
+	// never finished.
+	full, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, full[:len(full)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, results, err := openJournal(jpath, "hash", 3)
+	if err != nil {
+		t.Fatalf("unterminated tail: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("replayed %d results, want 1 (unterminated line dropped)", len(results))
+	}
+	// Appending after the truncation must produce a clean journal: both
+	// records replay, no mid-file corruption.
+	if err := j2.append(wireResult{Name: "job-2", Status: harness.StatusOK,
+		Attempts: 1, Value: json.RawMessage(`{"x":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, results, err := openJournal(jpath, "hash", 3)
+	if err != nil {
+		t.Fatalf("reopen after post-truncation append: %v", err)
+	}
+	j3.Close()
+	if len(results) != 2 || results[0].Name != "job-0" || results[1].Name != "job-2" {
+		t.Fatalf("replayed %+v, want [job-0 job-2]", results)
+	}
+}
+
+// TestJournalRestartsOnTornHeader: a crash that tore the header append
+// itself leaves a journal nothing could have been acknowledged
+// through; it is restarted fresh rather than rejected.
+func TestJournalRestartsOnTornHeader(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "merge.journal")
+	if err := os.WriteFile(jpath, []byte(`{"magic":"d3dist-journal","ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, results, err := openJournal(jpath, "hash", 2)
+	if err != nil {
+		t.Fatalf("torn header: %v", err)
+	}
+	defer j.Close()
+	if len(results) != 0 {
+		t.Fatalf("torn header replayed %d results", len(results))
+	}
+	if err := j.append(wireResult{Name: "job-0", Status: harness.StatusOK, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, results, err := openJournal(jpath, "hash", 2); err != nil || len(results) != 1 {
+		t.Fatalf("reopen after restart: results=%v err=%v", results, err)
+	}
+}
+
+// TestResumedCoordinatorDedupsJournaledResult: a worker resubmitting a
+// result the (restarted) coordinator already journaled must get
+// "duplicate", and the journal must not grow a second copy.
+func TestResumedCoordinatorDedupsJournaledResult(t *testing.T) {
+	spec := testSpec{N: 3}
+	payload := mustPayload(t, spec)
+	jobs := testJobs(spec)
+	jpath := filepath.Join(t.TempDir(), "merge.journal")
+
+	// A previous coordinator merged job-000, then died.
+	j, _, err := openJournal(jpath, specHash(payload), len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := harness.RunOne(context.Background(), harness.Config{}, jobs[0])
+	wr, err := encodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(wr); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	before, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reg := obs.NewRegistry()
+	addr, out := startCoordinator(t, ctx, CoordinatorConfig{
+		Jobs:        jobNames(jobs),
+		SpecPayload: payload,
+		LeaseTTL:    5 * time.Second,
+		JournalPath: jpath,
+		Obs:         reg,
+	})
+
+	// The worker that produced job-000 reconnects and resubmits it —
+	// exactly what a worker shard journal does on restart.
+	pc := dialProto(t, addr, "w0")
+	if resp := pc.roundTrip(request{Type: "result", Worker: "w0", Result: &wr}); resp.Outcome != "duplicate" {
+		t.Errorf("resubmitted journaled result: outcome %q, want duplicate", resp.Outcome)
+	}
+	after, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Errorf("journal grew from %d to %d bytes on a duplicate", before.Size(), after.Size())
+	}
+	if got := reg.CounterValue(obs.MetricResultsDuplicate); got != 1 {
+		t.Errorf("duplicates = %d, want 1", got)
+	}
+
+	// Finish the campaign normally.
+	go func() {
+		if err := RunWorker(ctx, WorkerConfig{Addr: addr, Name: "w1", MakeJobs: testMakeJobs}); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	o := waitOutcome(t, out)
+	if o.err != nil {
+		t.Fatalf("coordinator: %v", o.err)
+	}
+	if o.m.OK != spec.N {
+		t.Errorf("OK = %d, want %d", o.m.OK, spec.N)
+	}
+}
+
+// TestSyntheticResultRoundTripsThroughJournal: a budget-failure result
+// journaled by one coordinator must replay on the next with the same
+// empty fingerprint, so a straggling real result dedups as a duplicate
+// on the resumed coordinator exactly as it would have on the original.
+func TestSyntheticResultRoundTripsThroughJournal(t *testing.T) {
+	wr := wireResult{Name: "job-0", Status: harness.StatusFailed, Attempts: 0,
+		Error: "harness: lease re-issue budget exhausted after 9 expiries", Synthetic: true}
+	if got := wr.fingerprint(); got != "" {
+		t.Fatalf("synthetic fingerprint = %q, want empty", got)
+	}
+	jpath := filepath.Join(t.TempDir(), "merge.journal")
+	j, _, err := openJournal(jpath, "hash", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(wr); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, results, err := openJournal(jpath, "hash", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(results) != 1 || !results[0].Synthetic {
+		t.Fatalf("replayed %+v, want the synthetic flag preserved", results)
+	}
+	if got := results[0].fingerprint(); got != "" {
+		t.Fatalf("replayed fingerprint = %q, want empty", got)
+	}
+}

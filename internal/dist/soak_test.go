@@ -1,0 +1,246 @@
+//go:build soak
+
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"diestack/internal/chaos"
+	"diestack/internal/harness"
+	"diestack/internal/obs"
+)
+
+// TestChaosSoak is the end-to-end acceptance run for ISSUE 7, built
+// tag "soak" so verify.sh and CI run it deliberately (with -race and a
+// hard timeout) rather than on every `go test ./...`:
+//
+//   - three workers run a 60-job campaign through chaos-wrapped
+//     connections injecting drops, torn writes, one-way partitions,
+//     and latency on both sides of the link;
+//   - mid-campaign the coordinator is canceled, drains gracefully, and
+//     a replacement is started on the same address with the same
+//     journal — the workers must ride the outage via reconnect;
+//   - the merged manifest must come out byte-identical to a
+//     single-process run of the same spec, with zero lost, duplicated,
+//     or divergent jobs.
+func TestChaosSoak(t *testing.T) {
+	const n = 90
+	spec := testSpec{N: n, Every: 9}
+	golden := singleProcessManifest(t, spec)
+	payload := mustPayload(t, spec)
+	names := jobNames(testJobs(spec))
+	jpath := t.TempDir() + "/merge.journal"
+
+	// Jobs take ~40ms so the campaign spans the mid-flight coordinator
+	// restart below (90 jobs across 6 worker slots ≳ 600ms of work) and
+	// leases are in flight when faults land.
+	slowMakeJobs := func(raw json.RawMessage) ([]harness.Job, error) {
+		jobs, err := testMakeJobs(raw)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			run := jobs[i].Run
+			jobs[i].Run = func(ctx context.Context) (any, error) {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(40 * time.Millisecond):
+				}
+				return run(ctx)
+			}
+		}
+		return jobs, nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	chaosCfg := chaos.Config{
+		DropPerKOp:         8,
+		PartialWritePerKOp: 5,
+		PartitionPerKOp:    3,
+		LatencyMax:         2 * time.Millisecond,
+	}
+	coordChaos := func(seed uint64) *chaos.Injector {
+		cfg := chaosCfg
+		cfg.Seed = seed
+		in, err := chaos.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+
+	coordCfg := func(in *chaos.Injector, reg *obs.Registry) CoordinatorConfig {
+		return CoordinatorConfig{
+			Jobs:        names,
+			SpecPayload: payload,
+			// Short TTL + generous budget: faults expire leases often,
+			// but no job may fail outright from re-issue exhaustion.
+			LeaseTTL:      500 * time.Millisecond,
+			ReissueBudget: 200,
+			DrainTimeout:  time.Second,
+			IOTimeout:     500 * time.Millisecond,
+			JournalPath:   jpath,
+			Obs:           reg,
+			Listen:        in.Listen,
+		}
+	}
+
+	// Coordinator, first life: chaos on every accepted connection.
+	ctx1, cancel1 := context.WithCancel(ctx)
+	defer cancel1()
+	reg1 := obs.NewRegistry()
+	in1 := coordChaos(101)
+	addr, out1 := startCoordinator(t, ctx1, coordCfg(in1, reg1))
+
+	// Three workers, each with its own deterministic fault schedule on
+	// the dial side, all resilient: short IO timeouts so partitions
+	// turn into reconnects quickly, and a reconnect budget that spans
+	// the coordinator restart.
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	workerErr := make(chan error, 3)
+	workerRegs := make([]*obs.Registry, 3)
+	for i := 0; i < 3; i++ {
+		wIn, err := chaos.New(chaos.Config{
+			Seed:               uint64(1000 + i),
+			DropPerKOp:         chaosCfg.DropPerKOp,
+			PartialWritePerKOp: chaosCfg.PartialWritePerKOp,
+			PartitionPerKOp:    chaosCfg.PartitionPerKOp,
+			LatencyMax:         chaosCfg.LatencyMax,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		workerRegs[i] = reg
+		name := fmt.Sprintf("soak-w%d", i)
+		go func() {
+			workerErr <- RunWorker(wctx, WorkerConfig{
+				Addr:            addr,
+				Name:            name,
+				MakeJobs:        slowMakeJobs,
+				Parallel:        2,
+				Dial:            wIn.Dial,
+				DialBudget:      30 * time.Second,
+				ReconnectBudget: 60 * time.Second,
+				IOTimeout:       250 * time.Millisecond,
+				HeartbeatEvery:  100 * time.Millisecond,
+				Harness:         harness.Config{Jitter: 0.5, JitterSeed: 42},
+				Obs:             reg,
+			})
+		}()
+	}
+
+	// Let the campaign get properly underway, then SIGTERM-equivalent
+	// the coordinator: graceful drain, journal fsync, resumable exit.
+	time.Sleep(450 * time.Millisecond)
+	cancel1()
+	o1 := waitOutcome(t, out1)
+	if o1.err != nil {
+		t.Fatalf("first-life coordinator: %v", o1.err)
+	}
+	if got := reg1.CounterValue(obs.MetricCoordinatorDrains); got != 1 {
+		t.Errorf("first life drains = %d, want 1", got)
+	}
+	merged := n - o1.m.Canceled
+	t.Logf("first life: %d job(s) merged before drain, %d canceled (to resume)",
+		merged, o1.m.Canceled)
+
+	// Second life: same address, same journal, fresh chaos schedule.
+	// The workers are still running and must reconnect to it.
+	reg2 := obs.NewRegistry()
+	in2 := coordChaos(202)
+	cfg2 := coordCfg(in2, reg2)
+	cfg2.Addr = addr
+	ready2 := make(chan string, 1)
+	cfg2.Ready = ready2
+	out2 := make(chan coordOutcome, 1)
+	go func() {
+		m, err := RunCoordinator(ctx, cfg2)
+		out2 <- coordOutcome{m, err}
+	}()
+	select {
+	case <-ready2:
+	case o := <-out2:
+		t.Fatalf("second-life coordinator exited before listening: %v", o.err)
+	}
+
+	o2 := waitOutcome(t, out2)
+	if o2.err != nil {
+		t.Fatalf("second-life coordinator: %v", o2.err)
+	}
+	// Collect the workers. The common exit is clean (they pull "done"),
+	// but a worker whose final exchange was chaos-torn inside the
+	// coordinator's post-completion grace window is left retrying
+	// against a gone endpoint — cancel the stragglers rather than wait
+	// out their reconnect budget; the manifest is the acceptance bar.
+	tail := time.After(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-workerErr:
+			if err != nil {
+				t.Logf("worker exit (tolerated, campaign already merged): %v", err)
+			}
+		case <-tail:
+			wcancel()
+			tail = time.After(10 * time.Second)
+			i--
+		}
+	}
+
+	// The acceptance bar: byte-identical manifest, nothing lost,
+	// nothing double-counted, nothing divergent — across a restart and
+	// a sustained fault barrage.
+	if got := manifestBytes(t, o2.m); !bytes.Equal(got, golden) {
+		t.Errorf("soak manifest differs from single-process golden (%d vs %d bytes)",
+			len(got), len(golden))
+		for _, r := range o2.m.Jobs {
+			if r.Status != harness.StatusOK && r.Status != harness.StatusFailed {
+				t.Logf("  %s: %s %s", r.Name, r.Status, r.Error)
+			}
+		}
+	}
+	if o2.m.OK+o2.m.Failed != n {
+		t.Errorf("OK+Failed = %d, want %d", o2.m.OK+o2.m.Failed, n)
+	}
+	if got := reg2.CounterValue(obs.MetricResultsAccepted); got != n {
+		t.Errorf("second life accepted (replayed+new) = %d, want %d", got, n)
+	}
+	for _, reg := range []*obs.Registry{reg1, reg2} {
+		if got := reg.CounterValue(obs.MetricResultsDivergent); got != 0 {
+			t.Errorf("divergent results = %d, want 0", got)
+		}
+	}
+
+	// The chaos must actually have bitten, and the recovery machinery
+	// must actually have run.
+	faults := uint64(0)
+	for _, in := range []*chaos.Injector{in1, in2} {
+		faults += uint64(len(in.Events()))
+	}
+	reconnects := uint64(0)
+	for _, reg := range workerRegs {
+		reconnects += reg.CounterValue(obs.MetricWorkerReconnects)
+	}
+	if faults == 0 {
+		t.Error("no faults injected — the soak soaked nothing")
+	}
+	if reconnects == 0 {
+		t.Error("no worker ever reconnected — the coordinator restart was not survived")
+	}
+	t.Logf("soak: faults=%d reconnects=%d grants(life2)=%d expired(life2)=%d duplicates(life2)=%d timeouts(life2)=%d violations(life2)=%d",
+		faults, reconnects,
+		reg2.CounterValue(obs.MetricLeaseGrants),
+		reg2.CounterValue(obs.MetricLeaseExpired),
+		reg2.CounterValue(obs.MetricResultsDuplicate),
+		reg2.CounterValue(obs.MetricConnTimeouts),
+		reg2.CounterValue(obs.MetricProtoViolations))
+}

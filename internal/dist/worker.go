@@ -11,6 +11,7 @@ import (
 
 	"diestack/internal/harness"
 	"diestack/internal/obs"
+	"diestack/internal/stats"
 )
 
 // WorkerConfig parameterizes RunWorker.
@@ -29,7 +30,8 @@ type WorkerConfig struct {
 	// Harness configures each job execution — retries, per-job timeout,
 	// backoff and jitter — exactly as in a single-process campaign. Its
 	// Workers field is ignored (Parallel governs concurrency here) and
-	// its Obs defaults to the Obs field below.
+	// its Obs defaults to the Obs field below. Jitter and JitterSeed
+	// double as the worker's dial/reconnect backoff jitter.
 	Harness harness.Config
 	// JournalPath, when non-empty, is this worker's shard journal: every
 	// result the worker produced is recorded there, and on restart the
@@ -41,10 +43,25 @@ type WorkerConfig struct {
 	Obs *obs.Registry
 	// Log, when non-nil, receives one line per lease and result.
 	Log func(format string, args ...any)
+	// Dial overrides the TCP dial; tests and the chaos layer
+	// (internal/chaos.Injector.Dial) interpose here. Nil dials plain
+	// TCP.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
 	// DialBudget bounds how long the worker retries connecting before
 	// giving up (0 = 10s), so worker and coordinator start order does
 	// not matter.
 	DialBudget time.Duration
+	// ReconnectBudget bounds how long a worker that lost its connection
+	// mid-campaign keeps trying to reconnect before surrendering: it
+	// exits, its leases lapse at the coordinator, and its jobs are
+	// re-issued elsewhere (0 = DialBudget). A drained-and-restarted
+	// coordinator needs this at least as long as the restart gap.
+	ReconnectBudget time.Duration
+	// IOTimeout bounds each socket read/write on the coordinator
+	// connection (0 = 10s): a partitioned or wedged link turns into a
+	// deadline error, which turns into a reconnect, instead of hanging
+	// every pull slot behind one dead exchange.
+	IOTimeout time.Duration
 	// HeartbeatEvery overrides the heartbeat interval (0 = a third of
 	// the coordinator's lease TTL). Tests shorten it.
 	HeartbeatEvery time.Duration
@@ -57,22 +74,44 @@ type WorkerConfig struct {
 // worker is the running state behind RunWorker.
 type worker struct {
 	cfg     WorkerConfig
-	lc      *lineConn
 	logf    func(string, ...any)
 	jobs    map[string]harness.Job
 	journal *journal
+	hash    string // campaign spec hash, fixed at first hello
+
+	dial       func(ctx context.Context, network, addr string) (net.Conn, error)
+	ioTimeout  time.Duration
+	reBudget   time.Duration
+	jitterFrac float64
+
+	// connMu guards the live connection and its generation counter.
+	// Reconnection is single-flight: every exchange that fails carries
+	// the generation it failed on, and only the first to report a given
+	// generation actually redials — the rest retry on the replacement.
+	// The RNG drives backoff jitter and is only touched under connMu.
+	connMu sync.Mutex
+	lc     *lineConn
+	gen    uint64
+	rng    *stats.RNG
 
 	activeMu sync.Mutex
 	active   map[uint64]string // lease id -> job, for heartbeats
+
+	reconnects, reconnectFailures *obs.Counter
 }
 
 // RunWorker connects to the coordinator at cfg.Addr, reconstructs the
 // job list from the campaign spec, and pulls leased jobs until the
 // coordinator reports the campaign done. Each job runs under the
 // harness (panic isolation, per-attempt deadlines, jittered retry
-// backoff); results stream back as they finish. Canceling ctx stops
-// the worker without submitting canceled results — its leases lapse at
-// the coordinator and the jobs are re-issued elsewhere.
+// backoff); results stream back as they finish. A connection lost
+// mid-campaign is not fatal: the worker redials with jittered doubling
+// backoff, re-hellos under the same name and spec hash, and resumes —
+// heartbeats renew its existing leases by ID, so leases survive the
+// outage if the reconnect lands inside the TTL and lapse cleanly if it
+// does not. Canceling ctx stops the worker without submitting canceled
+// results — its leases lapse at the coordinator and the jobs are
+// re-issued elsewhere.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Addr == "" {
 		return errors.New("dist: worker needs a coordinator address")
@@ -90,27 +129,50 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		cfg.Harness.Obs = cfg.Obs
 	}
 	cfg.Harness.Workers = 0
-	w := &worker{cfg: cfg, logf: cfg.Log, active: map[uint64]string{}}
+	w := &worker{
+		cfg:               cfg,
+		logf:              cfg.Log,
+		active:            map[uint64]string{},
+		dial:              cfg.Dial,
+		ioTimeout:         cfg.IOTimeout,
+		reBudget:          cfg.ReconnectBudget,
+		reconnects:        cfg.Obs.Counter(obs.MetricWorkerReconnects),
+		reconnectFailures: cfg.Obs.Counter(obs.MetricWorkerReconnectFailures),
+	}
 	if w.logf == nil {
 		w.logf = func(string, ...any) {}
 	}
+	if w.dial == nil {
+		var d net.Dialer
+		w.dial = d.DialContext
+	}
+	if w.ioTimeout == 0 {
+		w.ioTimeout = 10 * time.Second
+	}
+	if w.reBudget <= 0 {
+		w.reBudget = cfg.DialBudget
+	}
+	// The dial/reconnect backoff jitters with the harness's own
+	// deterministic machinery, streamed per worker name: a fleet of
+	// workers started together spreads its redials apart, yet a rerun
+	// with the same seed redials on the same schedule.
+	w.jitterFrac = cfg.Harness.Jitter
+	if w.jitterFrac <= 0 {
+		w.jitterFrac = 0.5
+	}
+	w.rng = harness.NewJitterRNG(cfg.Harness.JitterSeed, cfg.Name)
 
-	conn, err := dialRetry(ctx, cfg.Addr, cfg.DialBudget)
+	lc, hello, err := w.connect(ctx, cfg.DialBudget, "")
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	w.lc = newLineConn(conn)
-
-	hello, err := w.lc.roundTrip(request{Type: "hello", Proto: protoVersion, Worker: cfg.Name})
-	if err != nil {
-		return err
-	}
-	hash := specHash(hello.Spec)
-	if hello.SpecHash != hash {
-		return fmt.Errorf("dist: spec payload hash %.12s.. does not match advertised %.12s..",
-			hash, hello.SpecHash)
-	}
+	w.lc = lc
+	defer func() {
+		w.connMu.Lock()
+		w.lc.conn.Close()
+		w.connMu.Unlock()
+	}()
+	w.hash = specHash(hello.Spec)
 	jobs, err := cfg.MakeJobs(hello.Spec)
 	if err != nil {
 		return fmt.Errorf("dist: expanding campaign spec: %w", err)
@@ -120,10 +182,10 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		w.jobs[job.Name] = job
 	}
 	w.logf("worker %s: connected to %s, spec %.12s.., %d job(s) known",
-		cfg.Name, cfg.Addr, hash, len(jobs))
+		cfg.Name, cfg.Addr, w.hash, len(jobs))
 
 	if cfg.JournalPath != "" {
-		j, recorded, err := openJournal(cfg.JournalPath, hash, len(jobs))
+		j, recorded, err := openJournal(cfg.JournalPath, w.hash, len(jobs))
 		if err != nil {
 			return err
 		}
@@ -133,7 +195,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		// coordinator deduplicates, so this only matters when the
 		// previous submission was lost with the worker.
 		for _, wr := range recorded {
-			if _, err := w.lc.roundTrip(request{Type: "result", Result: &wr}); err != nil {
+			wr := wr
+			if _, err := w.exchange(ctx, request{Type: "result", Worker: cfg.Name, Result: &wr}); err != nil {
 				return err
 			}
 		}
@@ -142,8 +205,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		}
 	}
 
-	// The run context ends when ctx does or when any goroutine hits a
-	// connection error; firstErr keeps the root cause.
+	// The run context ends when ctx does or when any goroutine hits an
+	// unrecoverable connection error; firstErr keeps the root cause.
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var errMu sync.Mutex
@@ -185,29 +248,138 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	return nil
 }
 
-// dialRetry connects to addr, retrying until the budget elapses, so
-// workers may start before the coordinator listens.
-func dialRetry(ctx context.Context, addr string, budget time.Duration) (net.Conn, error) {
+// connect dials the coordinator and performs the hello handshake,
+// retrying the dial+hello as one unit with jittered doubling backoff
+// (50ms doubling to a 1s cap) until the budget elapses — workers may
+// start before the coordinator listens, and a thousand workers
+// starting (or reconnecting) together spread out instead of hammering
+// it in lockstep. Only transport failures retry; an application-level
+// hello rejection (version skew, spec-hash fence) is fatal, because
+// redialing cannot change the coordinator's mind.
+//
+// expectHash is empty on the first connect — the worker learns the
+// campaign from the response — and the known spec hash on reconnects,
+// where it is both sent (so the coordinator fences off a worker from a
+// different campaign) and verified (so a restarted coordinator serving
+// a different campaign is detected immediately instead of via job-name
+// mismatches).
+func (w *worker) connect(ctx context.Context, budget time.Duration, expectHash string) (*lineConn, response, error) {
 	if budget <= 0 {
 		budget = 10 * time.Second
 	}
 	deadline := time.Now().Add(budget)
+	sleep := 50 * time.Millisecond
 	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		lc, hello, err, fatal := w.connectOnce(ctx, expectHash)
 		if err == nil {
-			return conn, nil
+			return lc, hello, nil
+		}
+		if fatal {
+			return nil, response{}, err
+		}
+		if ctx.Err() != nil {
+			return nil, response{}, ctx.Err()
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dist: coordinator %s unreachable after %v: %w", addr, budget, err)
+			return nil, response{}, fmt.Errorf("dist: coordinator %s unreachable after %v: %w", w.cfg.Addr, budget, err)
 		}
-		t := time.NewTimer(100 * time.Millisecond)
+		d := sleep - time.Duration(w.jitterFrac*w.rng.Float64()*float64(sleep))
+		t := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return nil, ctx.Err()
+			return nil, response{}, ctx.Err()
 		case <-t.C:
 		}
+		if sleep *= 2; sleep > time.Second {
+			sleep = time.Second
+		}
 	}
+}
+
+// connectOnce is one dial+hello attempt. fatal marks failures that
+// retrying cannot fix: the coordinator heard the hello and rejected
+// it, or its advertised campaign does not match the one this worker is
+// mid-way through.
+func (w *worker) connectOnce(ctx context.Context, expectHash string) (lc *lineConn, hello response, err error, fatal bool) {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	conn, err := w.dial(dctx, "tcp", w.cfg.Addr)
+	cancel()
+	if err != nil {
+		return nil, response{}, err, false
+	}
+	lc = newLineConn(conn)
+	lc.ioTimeout = w.ioTimeout
+	hello, err = lc.roundTrip(request{Type: "hello", Proto: protoVersion,
+		Worker: w.cfg.Name, SpecHash: expectHash})
+	if err != nil {
+		conn.Close()
+		return nil, response{}, err, hello.Type == "error"
+	}
+	hash := specHash(hello.Spec)
+	if hello.SpecHash != hash {
+		conn.Close()
+		return nil, response{}, fmt.Errorf("dist: spec payload hash %.12s.. does not match advertised %.12s..",
+			hash, hello.SpecHash), true
+	}
+	if expectHash != "" && hash != expectHash {
+		conn.Close()
+		return nil, response{}, fmt.Errorf("dist: coordinator campaign changed across reconnect: spec %.12s.., want %.12s..",
+			hash, expectHash), true
+	}
+	return lc, hello, nil, false
+}
+
+// exchange performs one request/response round trip, transparently
+// reconnecting on transport errors. Application-level rejections (the
+// coordinator answered with Type "error") are returned as-is — the
+// coordinator heard us fine; resending would not change its mind.
+func (w *worker) exchange(ctx context.Context, req request) (response, error) {
+	for {
+		w.connMu.Lock()
+		lc, gen := w.lc, w.gen
+		w.connMu.Unlock()
+		resp, err := lc.roundTrip(req)
+		if err == nil || resp.Type == "error" {
+			return resp, err
+		}
+		if ctx.Err() != nil {
+			return resp, err
+		}
+		if rerr := w.reconnect(ctx, gen); rerr != nil {
+			return response{}, rerr
+		}
+		// Retrying the same request on the new connection is safe for
+		// every request type: pulls and heartbeats are idempotent, and a
+		// result whose ack was lost dedups at the coordinator.
+	}
+}
+
+// reconnect replaces the connection that generation oldGen failed on.
+// Single-flight: if another goroutine already replaced it, this one
+// returns immediately and its caller retries on the new connection.
+// The campaign's identity survives the reconnect — same worker name,
+// same spec hash — so the coordinator's lease table still recognizes
+// this worker's heartbeats and the leases it held stay renewable.
+func (w *worker) reconnect(ctx context.Context, oldGen uint64) error {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	if w.gen != oldGen {
+		return nil
+	}
+	w.lc.conn.Close()
+	w.logf("worker %s: connection to %s lost, reconnecting", w.cfg.Name, w.cfg.Addr)
+	lc, _, err := w.connect(ctx, w.reBudget, w.hash)
+	if err != nil {
+		w.reconnectFailures.Inc()
+		w.logf("worker %s: reconnect failed, surrendering leases: %v", w.cfg.Name, err)
+		return fmt.Errorf("dist: worker %s reconnect: %w", w.cfg.Name, err)
+	}
+	w.lc = lc
+	w.gen++
+	w.reconnects.Inc()
+	w.logf("worker %s: reconnected to %s", w.cfg.Name, w.cfg.Addr)
+	return nil
 }
 
 // heartbeatLoop renews the worker's live leases at a third of the TTL.
@@ -236,7 +408,7 @@ func (w *worker) heartbeatLoop(ctx context.Context, ttl time.Duration, fail func
 		if len(leases) == 0 {
 			continue
 		}
-		if _, err := w.lc.roundTrip(request{Type: "heartbeat", Worker: w.cfg.Name, Leases: leases}); err != nil {
+		if _, err := w.exchange(ctx, request{Type: "heartbeat", Worker: w.cfg.Name, Leases: leases}); err != nil {
 			if ctx.Err() == nil {
 				fail(fmt.Errorf("dist: heartbeat: %w", err))
 			}
@@ -252,7 +424,7 @@ func (w *worker) pullLoop(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return nil
 		}
-		resp, err := w.lc.roundTrip(request{Type: "pull", Worker: w.cfg.Name, Max: 1})
+		resp, err := w.exchange(ctx, request{Type: "pull", Worker: w.cfg.Name, Max: 1})
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -328,7 +500,7 @@ func (w *worker) runLease(ctx context.Context, g wireGrant) error {
 			return err
 		}
 	}
-	resp, err := w.lc.roundTrip(request{Type: "result", Worker: w.cfg.Name, Result: &wr})
+	resp, err := w.exchange(ctx, request{Type: "result", Worker: w.cfg.Name, Result: &wr})
 	if err != nil {
 		return err
 	}

@@ -409,6 +409,17 @@ func sleepBackoff(ctx context.Context, sleep func(time.Duration), d time.Duratio
 	}
 }
 
+// NewJitterRNG returns the deterministic jitter stream the retry
+// backoff uses for one name: a generator seeded from (seed, name), so
+// distinct names spread their sleeps apart while a rerun with the same
+// seed reproduces the same schedule. Exported for the distributed
+// layer, whose dial and reconnect backoffs need exactly this shape of
+// randomness (per-worker, replayable) without inventing a second
+// seeding idiom.
+func NewJitterRNG(seed uint64, name string) *stats.RNG {
+	return stats.NewRNG(jitterSeed(seed, name))
+}
+
 // jitterSeed mixes the campaign seed with an FNV-1a hash of the job
 // name, giving every job its own deterministic jitter stream.
 func jitterSeed(seed uint64, name string) uint64 {

@@ -327,7 +327,12 @@ func (t *LeaseTable) Complete(res JobResult, fingerprint string) (CompleteOutcom
 		return 0, fmt.Errorf("%w: %q", ErrUnknownJob, res.Name)
 	}
 	if e.done {
-		if e.fingerprint == fingerprint {
+		// An empty recorded fingerprint marks a synthetic terminal
+		// result — re-issue budget exhaustion or shutdown cancellation —
+		// that has no content to diverge from: a straggling real result
+		// arriving after the table gave the job up is late, not an
+		// integrity violation, so it is dropped as a duplicate.
+		if e.fingerprint == fingerprint || e.fingerprint == "" {
 			return CompleteDuplicate, nil
 		}
 		t.diverge = append(t.diverge, fmt.Sprintf(

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin down the lease-table races a chaos-hardened
+// distributed campaign actually hits: results arriving after their
+// lease expired, after the job was budget-failed, and heartbeat
+// renewals interleaved with expiry scans. The table is driven
+// single-threaded (it is caller-serialized by design); the "race" is
+// in the event ordering, not the goroutines.
+
+// TestLeaseExpiryRacingValidResult: a worker's lease expires and the
+// job is re-issued, but the original worker was merely slow, not dead —
+// its valid result lands first and must win, and the re-issued
+// execution's identical result must dedup as a duplicate.
+func TestLeaseExpiryRacingValidResult(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a")
+	if g := table.Acquire("slow", 1, now); len(g) != 1 {
+		t.Fatalf("want one grant, got %+v", g)
+	}
+
+	// The lease lapses and the job is re-queued to another worker.
+	now = now.Add(2 * time.Second)
+	if requeued, _, expired := table.ExpireDue(now); expired != 1 || len(requeued) != 1 {
+		t.Fatalf("expected one expiry + requeue, got expired=%d requeued=%v", expired, requeued)
+	}
+	if g := table.Acquire("fresh", 1, now); len(g) != 1 || g[0].Job != "a" {
+		t.Fatalf("re-issue grant: got %+v", g)
+	}
+
+	// The slow worker's result arrives anyway — first valid result
+	// wins, whatever lease produced it.
+	res := JobResult{Name: "a", Status: StatusOK, Attempts: 1, Value: 42}
+	if out, err := table.Complete(res, "fp-slow"); err != nil || out != CompleteAccepted {
+		t.Fatalf("late result from expired lease: out=%v err=%v, want accepted", out, err)
+	}
+	// The re-issued execution finishes with the same content: duplicate.
+	if out, err := table.Complete(res, "fp-slow"); err != nil || out != CompleteDuplicate {
+		t.Fatalf("re-issued duplicate: out=%v err=%v, want duplicate", out, err)
+	}
+	got, ok := table.Result("a")
+	if !ok || got.Status != StatusOK {
+		t.Fatalf("recorded result: %+v ok=%v, want the slow worker's ok", got, ok)
+	}
+}
+
+// TestLeaseBudgetExhaustionRacingResult: the re-issue budget runs out
+// and the table records a synthetic failure — then the last holder's
+// genuine result straggles in. The straggler must be dropped as a
+// duplicate, not flagged divergent: a synthetic terminal result has no
+// execution content to diverge from.
+func TestLeaseBudgetExhaustionRacingResult(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second, ReissueBudget: 1}, "a")
+	for i := 0; i < 2; i++ {
+		if g := table.Acquire("w", 1, now); len(g) != 1 {
+			t.Fatalf("round %d: want a grant", i)
+		}
+		now = now.Add(2 * time.Second)
+		table.ExpireDue(now)
+	}
+	if !table.Done() {
+		t.Fatal("budget should be exhausted")
+	}
+	got, _ := table.Result("a")
+	if got.Status != StatusFailed {
+		t.Fatalf("want synthetic failure, got %+v", got)
+	}
+
+	// The straggling real result: dropped, recorded result unchanged.
+	res := JobResult{Name: "a", Status: StatusOK, Attempts: 1, Value: 7}
+	out, err := table.Complete(res, "fp-real")
+	if err != nil || out != CompleteDuplicate {
+		t.Fatalf("straggler after budget failure: out=%v err=%v, want duplicate", out, err)
+	}
+	if d := table.Divergences(); len(d) != 0 {
+		t.Fatalf("straggler recorded divergences: %v", d)
+	}
+	if got, _ := table.Result("a"); got.Status != StatusFailed {
+		t.Fatalf("straggler overwrote the terminal result: %+v", got)
+	}
+}
+
+// TestLeaseHeartbeatRacingBudgetExhaustion: a heartbeat renewal that
+// was in flight when the expiry scan budget-failed the job must renew
+// nothing (the holders are gone) and must not resurrect the lease.
+func TestLeaseHeartbeatRacingBudgetExhaustion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second, ReissueBudget: 1}, "a")
+	var last Grant
+	for i := 0; i < 2; i++ {
+		g := table.Acquire("w", 1, now)
+		if len(g) != 1 {
+			t.Fatalf("round %d: want a grant", i)
+		}
+		last = g[0]
+		now = now.Add(2 * time.Second)
+		table.ExpireDue(now)
+	}
+	if !table.Done() {
+		t.Fatal("budget should be exhausted")
+	}
+	// The worker's heartbeat naming its (now dead) lease arrives late.
+	if renewed := table.Heartbeat("w", []uint64{last.LeaseID}, now); renewed != 0 {
+		t.Fatalf("heartbeat renewed %d lease(s) on a budget-failed job", renewed)
+	}
+	if table.Leased() != 0 {
+		t.Fatal("budget-failed job still counts as leased")
+	}
+	// And nothing was re-queued by the stray renewal.
+	if g := table.Acquire("w2", 1, now.Add(time.Hour)); len(g) != 0 {
+		t.Fatalf("budget-failed job re-granted: %+v", g)
+	}
+}
+
+// TestLeaseHeartbeatBeatsExpiryScan: the mirror ordering — the renewal
+// lands just before the scan — must keep the lease alive through the
+// scan that would otherwise have reaped it.
+func TestLeaseHeartbeatBeatsExpiryScan(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a")
+	g := table.Acquire("w", 1, now)[0]
+
+	// Just before the TTL elapses, the renewal arrives; the scan at
+	// TTL+ε must then find nothing to reap.
+	beat := now.Add(900 * time.Millisecond)
+	if renewed := table.Heartbeat("w", []uint64{g.LeaseID}, beat); renewed != 1 {
+		t.Fatalf("renewed %d, want 1", renewed)
+	}
+	if _, _, expired := table.ExpireDue(now.Add(1100 * time.Millisecond)); expired != 0 {
+		t.Fatalf("renewed lease reaped anyway (%d expired)", expired)
+	}
+	// Without a further renewal the extended lease still lapses.
+	if _, _, expired := table.ExpireDue(beat.Add(1100 * time.Millisecond)); expired != 1 {
+		t.Fatalf("extended lease never lapsed (%d expired)", expired)
+	}
+}
+
+// TestLeaseCancelThenLateResult: shutdown-canceled jobs carry the same
+// synthetic empty fingerprint as budget failures, so a result that
+// raced the drain is dropped quietly rather than flagged divergent.
+func TestLeaseCancelThenLateResult(t *testing.T) {
+	now := time.Unix(1000, 0)
+	table := newTestTable(t, LeaseConfig{TTL: time.Second}, "a", "b")
+	table.Acquire("w", 1, now)
+	if n := table.CancelRemaining("context canceled"); n != 2 {
+		t.Fatalf("canceled %d jobs, want 2", n)
+	}
+	out, err := table.Complete(JobResult{Name: "a", Status: StatusOK, Attempts: 1}, "fp")
+	if err != nil || out != CompleteDuplicate {
+		t.Fatalf("result racing cancellation: out=%v err=%v, want duplicate", out, err)
+	}
+	if d := table.Divergences(); len(d) != 0 {
+		t.Fatalf("cancellation race recorded divergences: %v", d)
+	}
+}

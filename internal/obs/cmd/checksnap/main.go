@@ -1,13 +1,16 @@
 // Command checksnap validates a -metrics-out JSONL file: every line
 // must decode as an obs.Snapshot, the last line must be the final
-// summary, and the five metric families (memhier, thermal, dtm, fault,
-// harness) must all be present. verify.sh runs it against the campaign
-// smoke output.
+// summary, and the required metric families must all be present. The
+// default families cover a supervised campaign (memhier, thermal, dtm,
+// fault, harness); distributed runs pass -families to require the
+// dist/chaos counters instead. verify.sh runs it against the campaign
+// smoke outputs.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -16,11 +19,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: checksnap <metrics.jsonl>")
+	families := flag.String("families", "memhier,thermal,dtm,fault,harness",
+		"comma-separated metric-name prefixes the final snapshot must contain")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: checksnap [-families a,b,...] <metrics.jsonl>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
@@ -42,12 +52,16 @@ func main() {
 		fatal(err)
 	}
 	if lines == 0 {
-		fatal(fmt.Errorf("no snapshots in %s", os.Args[1]))
+		fatal(fmt.Errorf("no snapshots in %s", flag.Arg(0)))
 	}
 	if !last.Final {
 		fatal(fmt.Errorf("last snapshot is not the final summary"))
 	}
-	for _, fam := range []string{"memhier", "thermal", "dtm", "fault", "harness"} {
+	for _, fam := range strings.Split(*families, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
 		if !hasFamily(last, fam) {
 			fatal(fmt.Errorf("final snapshot has no %s_* metrics", fam))
 		}

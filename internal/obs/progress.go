@@ -53,6 +53,21 @@ const (
 	// MetricWorkersConnected is a gauge: workers currently connected to
 	// the coordinator.
 	MetricWorkersConnected = "dist_workers_connected"
+	// MetricWorkerReconnects is a counter: successful mid-campaign
+	// worker reconnections after a lost coordinator connection.
+	MetricWorkerReconnects = "dist_worker_reconnects"
+	// MetricWorkerReconnectFailures is a counter: reconnect attempts
+	// abandoned after the reconnect budget elapsed.
+	MetricWorkerReconnectFailures = "dist_worker_reconnect_failures"
+	// MetricCoordinatorDrains is a counter: graceful-drain shutdowns
+	// entered by the coordinator (SIGTERM / context cancellation).
+	MetricCoordinatorDrains = "dist_coordinator_drains"
+	// MetricProtoViolations is a counter: malformed or oversized
+	// protocol lines received by the coordinator.
+	MetricProtoViolations = "dist_proto_violations"
+	// MetricConnTimeouts is a counter: coordinator connections closed
+	// because a peer went silent past the per-connection IO deadline.
+	MetricConnTimeouts = "dist_conn_timeouts"
 )
 
 // Progress renders a live one-line campaign summary — jobs
@@ -137,6 +152,9 @@ func (p *Progress) Line() string {
 	}
 	if stolen := p.reg.CounterValue(MetricLeaseSteals); stolen > 0 {
 		fmt.Fprintf(&b, " stolen %d", stolen)
+	}
+	if reconnects := p.reg.CounterValue(MetricWorkerReconnects); reconnects > 0 {
+		fmt.Fprintf(&b, " reconnects %d", reconnects)
 	}
 	if peak != 0 {
 		fmt.Fprintf(&b, "  peak %.1fC", peak)

@@ -40,10 +40,13 @@ test -s "$tmpdir/metrics.jsonl"
 go run ./internal/obs/cmd/checksnap "$tmpdir/metrics.jsonl"
 
 echo "== distributed campaign smoke =="
-# One coordinator, two loopback workers, one SIGKILLed mid-campaign:
-# the dead worker's leases must expire and re-issue, and the merged
-# manifest must come out byte-identical to the single-process manifest
-# the supervised smoke above wrote for the same spec.
+# One coordinator, two loopback workers, one SIGKILLed mid-campaign,
+# and deterministic chaos (drops, torn writes, latency) on the
+# surviving worker's link: the dead worker's leases must expire and
+# re-issue, the survivor must reconnect through its injected faults,
+# and the merged manifest must come out byte-identical to the
+# single-process manifest the supervised smoke above wrote for the
+# same spec.
 go build -o "$tmpdir/stackmem" ./cmd/stackmem
 port=$((20000 + $$ % 20000))
 "$tmpdir/stackmem" -campaign -bench gauss -scale 0.05 -grid 16 \
@@ -52,7 +55,9 @@ port=$((20000 + $$ % 20000))
     -metrics-out "$tmpdir/dist-metrics.jsonl" 2>"$tmpdir/coord.log" &
 coord=$!
 "$tmpdir/stackmem" -campaign -worker "127.0.0.1:$port" -worker-name smoke-w1 \
-    -jobs 2 -retries 1 2>"$tmpdir/w1.log" &
+    -jobs 2 -retries 1 \
+    -chaos-seed 7 -chaos-drop 4 -chaos-partial 3 -chaos-latency 1ms \
+    -metrics-out "$tmpdir/w1-metrics.jsonl" 2>"$tmpdir/w1.log" &
 w1=$!
 "$tmpdir/stackmem" -campaign -worker "127.0.0.1:$port" -worker-name smoke-w2 \
     -retries 1 2>"$tmpdir/w2.log" &
@@ -63,6 +68,19 @@ wait "$coord"
 wait "$w1"
 cmp "$tmpdir/manifest.json" "$tmpdir/merged.json"
 grep -q dist_lease_grants "$tmpdir/dist-metrics.jsonl"
+# The coordinator carries the dist_* counters (grants, drains,
+# violations); the chaos-injected worker additionally carries the
+# chaos_* and reconnect counters.
+go run ./internal/obs/cmd/checksnap -families dist "$tmpdir/dist-metrics.jsonl"
+go run ./internal/obs/cmd/checksnap -families dist,chaos "$tmpdir/w1-metrics.jsonl"
+
+echo "== chaos soak =="
+# The ISSUE 7 acceptance run: three in-process workers under sustained
+# injected network faults, one coordinator drained mid-campaign and
+# restarted on the same journal; the merged manifest must be
+# byte-identical to the single-process run. Tagged so the regular test
+# sweep above stays fault-free; hard -timeout bounds a hung soak.
+go test -race -count=1 -tags soak -run TestChaosSoak -timeout 240s ./internal/dist/
 
 echo "== checkpoint/resume smoke =="
 go run ./cmd/stackmem -checkpoint "$tmpdir/run.ckpt" -checkpoint-every 20000 \
