@@ -1,32 +1,60 @@
 #!/bin/sh
 # bench.sh — run the headline benchmarks with -benchmem and write the
-# machine-readable baseline (BENCH_004.json by default): benchmark
-# name -> ns/op and allocs/op, plus the two headline metrics — the
-# Solve64 serial/parallel-8 ratio and the steady-state replay
-# allocs/op. Committed baselines from this script are how perf PRs
-# prove their before/after claims. The baseline name recorded inside
-# the JSON is derived from the output filename, so each capture is
-# self-identifying.
+# machine-readable baseline (BENCH_005.json by default): benchmark
+# name -> ns/op and allocs/op, plus the headline metrics — the Solve64
+# serial/parallel-8 ratio, the Solve64 line-SOR/multigrid ratio, and
+# the steady-state replay allocs/op. Committed baselines from this
+# script are how perf PRs prove their before/after claims. The baseline
+# name recorded inside the JSON is derived from the output filename, so
+# each capture is self-identifying.
+#
+# Host parallelism is recorded three ways, because they differ and the
+# difference matters when reading parallel-speedup numbers: "nproc" is
+# the shell's view of usable CPUs, "num_cpu" is runtime.NumCPU(), and
+# "gomaxprocs" is the GOMAXPROCS the benchmarks actually ran at (parsed
+# from the go test benchmark-name suffix; earlier baselines recorded
+# nproc under this key).
 #
 # Usage: ./bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")"
-out=${1:-BENCH_004.json}
+out=${1:-BENCH_005.json}
 baseline=$(basename "$out" .json)
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmpdir=$(mktemp -d)
+trap 'rm -f "$tmp"; rm -rf "$tmpdir"' EXIT
+
+cat >"$tmpdir/numcpu.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() { fmt.Println(runtime.NumCPU()) }
+EOF
+numcpu=$(go run "$tmpdir/numcpu.go")
 
 go test -run '^$' -benchmem -benchtime 3x \
-    -bench 'BenchmarkSolve32$|BenchmarkSolve64$|BenchmarkSolve64Parallel8$|BenchmarkWorkspaceResolve32$' \
+    -bench 'BenchmarkSolve32$|BenchmarkSolve64$|BenchmarkSolve64Parallel8$|BenchmarkWorkspaceResolve32$|BenchmarkSolve32Multigrid$|BenchmarkSolve64Multigrid$|BenchmarkWorkspaceResolve64Multigrid$' \
     ./internal/thermal/ | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime 2s \
     -bench 'BenchmarkReplaySteadyState$' \
     ./internal/memhier/ | tee -a "$tmp"
 
-awk -v maxprocs="$(nproc)" -v goversion="$(go env GOVERSION)" -v baseline="$baseline" '
+awk -v nproc="$(nproc)" -v numcpu="$numcpu" -v goversion="$(go env GOVERSION)" -v baseline="$baseline" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
+    name = $1
+    # go test appends "-<GOMAXPROCS>" to benchmark names, except at
+    # GOMAXPROCS=1 where the suffix is omitted entirely.
+    if (match(name, /-[0-9]+$/)) {
+        gomaxprocs = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    } else {
+        gomaxprocs = 1
+    }
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns[name] = $i
         if ($(i+1) == "allocs/op") al[name] = $i
@@ -37,7 +65,9 @@ END {
     printf "{\n"
     printf "  \"baseline\": \"%s\",\n", baseline
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"gomaxprocs\": %s,\n", maxprocs
+    printf "  \"nproc\": %s,\n", nproc
+    printf "  \"num_cpu\": %s,\n", numcpu
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"results\": {\n"
     for (i = 1; i <= n; i++) {
@@ -49,6 +79,8 @@ END {
     printf "  \"headline\": {\n"
     printf "    \"solve64_parallel8_speedup\": %.2f,\n", \
         ns["BenchmarkSolve64"] / ns["BenchmarkSolve64Parallel8"]
+    printf "    \"solve64_multigrid_speedup\": %.2f,\n", \
+        ns["BenchmarkSolve64"] / ns["BenchmarkSolve64Multigrid"]
     printf "    \"replay_steady_state_allocs_per_op\": %s\n", \
         al["BenchmarkReplaySteadyState"]
     printf "  }\n"

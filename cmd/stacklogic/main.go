@@ -62,7 +62,7 @@ func main() {
 		defer cancel()
 	}
 
-	spec := core.RunSpec{Seed: *seed, Grid: *grid, Parallelism: cli.Parallel, Obs: cli.Obs()}
+	spec := core.RunSpec{Seed: *seed, Grid: *grid, Parallelism: cli.Parallel, Method: cli.Method(), Obs: cli.Obs()}
 	if *autoOnly {
 		if err := printAutoFold(ctx, *grid); err != nil {
 			fatal(err)

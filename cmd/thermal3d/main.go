@@ -74,7 +74,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	spec := core.RunSpec{Grid: *grid, Parallelism: cli.Parallel, Obs: cli.Obs()}
+	spec := core.RunSpec{Grid: *grid, Parallelism: cli.Parallel, Method: cli.Method(), Obs: cli.Obs()}
 	if *dtmOn {
 		if err := runDTM(ctx, spec, *tmax, *dtmHyst, *dtmDt, *dtmSteps, *dtmMinFreq,
 			*sensorNoise, *sensorOffset, *sensorStuck, *faultSeed); err != nil {
@@ -124,7 +124,7 @@ func runDTM(ctx context.Context, spec core.RunSpec, tmax, hyst, dt float64, step
 	}
 
 	res, err := core.RunManagedLogicThermal(ctx, spec, core.Logic3D, cfg, fc,
-		thermal.TransientOptions{Dt: dt, Steps: steps, Parallelism: spec.Parallelism})
+		thermal.TransientOptions{Dt: dt, Steps: steps, Parallelism: spec.Parallelism, Method: spec.Method})
 	if err != nil && !errors.Is(err, dtm.ErrThermalRunaway) {
 		return err
 	}

@@ -36,6 +36,9 @@ type CampaignSpec struct {
 	// harness.Config.Workers: a campaign running W jobs at P workers
 	// each keeps W*P goroutines busy.
 	Parallelism int
+	// Method selects the thermal iteration schedule for every thermal
+	// job (line-SOR by default; see thermal.SolveOptions.Method).
+	Method thermal.Method
 	// Obs, when non-nil, instruments every job's substrates and — unless
 	// harness.Config.Obs is set separately — the harness itself, so one
 	// registry sees the whole campaign.
@@ -50,6 +53,7 @@ func (spec CampaignSpec) runSpec() RunSpec {
 		Scale:       spec.Scale,
 		Grid:        spec.Grid,
 		Parallelism: spec.Parallelism,
+		Method:      spec.Method,
 		Obs:         spec.Obs,
 	}
 }
@@ -64,6 +68,10 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 		// Fail the whole campaign up front rather than every thermal job
 		// individually, with the solver's own typed error.
 		return nil, &thermal.ParallelismError{Requested: spec.Parallelism, Max: thermal.MaxParallelism()}
+	}
+	if err := spec.Method.Validate(); err != nil {
+		// Same up-front treatment for an unknown iteration schedule.
+		return nil, err
 	}
 	benches := workload.All()
 	if len(spec.Benchmarks) > 0 {
@@ -125,6 +133,11 @@ type wireSpec struct {
 	Benchmarks  []string `json:"benchmarks,omitempty"`
 	SkipThermal bool     `json:"skip_thermal,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
+	// Method travels as the CLI spelling ("multigrid"), not the enum
+	// ordinal, so the wire form stays self-describing; it is omitted
+	// entirely for the line-SOR default, keeping old coordinators and
+	// workers interoperable.
+	Method string `json:"method,omitempty"`
 }
 
 // EncodeWire serializes the distributable fields of the spec in a
@@ -133,14 +146,21 @@ type wireSpec struct {
 // campaign. Encoding is deterministic (fixed field order), so equal
 // specs encode to equal bytes.
 func (spec CampaignSpec) EncodeWire() (json.RawMessage, error) {
-	raw, err := json.Marshal(wireSpec{
+	if err := spec.Method.Validate(); err != nil {
+		return nil, err
+	}
+	w := wireSpec{
 		Seed:        spec.Seed,
 		Scale:       spec.Scale,
 		Grid:        spec.Grid,
 		Benchmarks:  spec.Benchmarks,
 		SkipThermal: spec.SkipThermal,
 		Parallelism: spec.Parallelism,
-	})
+	}
+	if spec.Method != thermal.MethodLineSOR {
+		w.Method = spec.Method.String()
+	}
+	raw, err := json.Marshal(w)
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding campaign spec: %w", err)
 	}
@@ -158,6 +178,10 @@ func DecodeWireSpec(raw json.RawMessage) (CampaignSpec, error) {
 	if err := dec.Decode(&w); err != nil {
 		return CampaignSpec{}, fmt.Errorf("core: decoding campaign spec: %w", err)
 	}
+	m, err := thermal.ParseMethod(w.Method)
+	if err != nil {
+		return CampaignSpec{}, fmt.Errorf("core: decoding campaign spec: %w", err)
+	}
 	return CampaignSpec{
 		Seed:        w.Seed,
 		Scale:       w.Scale,
@@ -165,6 +189,7 @@ func DecodeWireSpec(raw json.RawMessage) (CampaignSpec, error) {
 		Benchmarks:  w.Benchmarks,
 		SkipThermal: w.SkipThermal,
 		Parallelism: w.Parallelism,
+		Method:      m,
 	}, nil
 }
 

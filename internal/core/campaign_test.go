@@ -145,7 +145,8 @@ func TestThermalErrorSurfacedThroughCore(t *testing.T) {
 
 func TestCampaignSpecWireRoundTrip(t *testing.T) {
 	spec := CampaignSpec{Seed: 7, Scale: 0.05, Grid: 16,
-		Benchmarks: []string{"gauss", "pcg"}, SkipThermal: true, Parallelism: 2}
+		Benchmarks: []string{"gauss", "pcg"}, SkipThermal: true, Parallelism: 2,
+		Method: thermal.MethodMultigrid}
 	raw, err := spec.EncodeWire()
 	if err != nil {
 		t.Fatal(err)
@@ -171,5 +172,34 @@ func TestCampaignSpecWireRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeWireSpec([]byte(`{garbage`)); err == nil {
 		t.Fatal("garbage accepted")
+	}
+	// Unknown solver methods are typed failures at both ends.
+	if _, err := (CampaignSpec{Method: thermal.Method(9)}).EncodeWire(); !errors.Is(err, thermal.ErrBadMethod) {
+		t.Fatalf("EncodeWire err = %v, want ErrBadMethod", err)
+	}
+	if _, err := DecodeWireSpec([]byte(`{"seed":1,"method":"jacobi"}`)); !errors.Is(err, thermal.ErrBadMethod) {
+		t.Fatalf("DecodeWireSpec err = %v, want ErrBadMethod", err)
+	}
+	// The default method stays off the wire, so old coordinators and
+	// new workers (and vice versa) interoperate.
+	raw3, err := (CampaignSpec{Seed: 1}).EncodeWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw3), "method") {
+		t.Fatalf("line-SOR default leaked onto the wire: %s", raw3)
+	}
+}
+
+// TestCampaignRejectsBadMethod mirrors the Parallelism up-front
+// validation: one typed failure for the whole campaign.
+func TestCampaignRejectsBadMethod(t *testing.T) {
+	_, err := CampaignJobs(CampaignSpec{Scale: 0.01, Method: thermal.Method(3)})
+	if !errors.Is(err, thermal.ErrBadMethod) {
+		t.Fatalf("err = %v, want ErrBadMethod", err)
+	}
+	var me *thermal.MethodError
+	if !errors.As(err, &me) || me.Requested != thermal.Method(3) {
+		t.Fatalf("err = %#v, want *MethodError{3}", err)
 	}
 }

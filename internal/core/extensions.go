@@ -120,7 +120,7 @@ func RunAutoFold(ctx context.Context, grid int) (AutoFoldComparison, error) {
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}
-	field, err := solveLogicStack(ctx, auto, grid, 1)
+	field, err := solveLogicStack(ctx, auto, grid, 1, thermal.MethodLineSOR)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}

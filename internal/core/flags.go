@@ -27,6 +27,10 @@ type CLIFlags struct {
 	// Parallel is the thermal solver worker count per solve (0 =
 	// serial). Only registered when the cmd asked for it.
 	Parallel int
+	// Solver is the raw -solver flag value ("sor" or "multigrid");
+	// Start parses it into the Method accessor. Registered together
+	// with -parallel (only cmds that run thermal solves get either).
+	Solver string
 	// CPUProfile / MemProfile are pprof output paths ("" = off).
 	CPUProfile string
 	MemProfile string
@@ -36,6 +40,7 @@ type CLIFlags struct {
 	Progress bool
 
 	withParallel bool
+	method       thermal.Method
 	reg          *obs.Registry
 	exporter     *obs.Exporter
 	progress     *obs.Progress
@@ -50,6 +55,7 @@ func RegisterCLIFlags(fs *flag.FlagSet, withParallel bool) *CLIFlags {
 	f := &CLIFlags{withParallel: withParallel}
 	if withParallel {
 		fs.IntVar(&f.Parallel, "parallel", 0, "thermal solver workers per solve (0 = serial)")
+		fs.StringVar(&f.Solver, "solver", "sor", "thermal iteration schedule: sor (bit-compat default) or multigrid (fast)")
 	}
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
@@ -65,6 +71,13 @@ func RegisterCLIFlags(fs *flag.FlagSet, withParallel bool) *CLIFlags {
 func (f *CLIFlags) Start() error {
 	if f.withParallel && (f.Parallel < 0 || f.Parallel > thermal.MaxParallelism()) {
 		return fmt.Errorf("-parallel must be in [0,%d], got %d", thermal.MaxParallelism(), f.Parallel)
+	}
+	if f.withParallel {
+		m, err := thermal.ParseMethod(f.Solver)
+		if err != nil {
+			return fmt.Errorf("-solver: %w", err)
+		}
+		f.method = m
 	}
 	if err := prof.Start(f.CPUProfile, f.MemProfile); err != nil {
 		return err
@@ -93,6 +106,10 @@ func (f *CLIFlags) Start() error {
 // was not requested — the nil registry is a free no-op everywhere it
 // is passed.
 func (f *CLIFlags) Obs() *obs.Registry { return f.reg }
+
+// Method returns the thermal schedule Start parsed from -solver
+// (MethodLineSOR when the flag was not registered or left default).
+func (f *CLIFlags) Method() thermal.Method { return f.method }
 
 // Stop closes the progress reporter, flushes the final metrics
 // snapshot, and stops profiling. Safe to call more than once and on

@@ -89,9 +89,10 @@ func buildLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) *the
 }
 
 // solveLogicStack builds and solves the thermal stack for a logic
-// floorplan whose block powers have been scaled by powerScale.
-func solveLogicStack(ctx context.Context, fp *floorplan.Floorplan, grid int, powerScale float64) (*thermal.Field, error) {
-	return thermal.Solve(ctx, buildLogicStack(fp, grid, powerScale), thermal.SolveOptions{})
+// floorplan whose block powers have been scaled by powerScale, on the
+// requested iteration schedule.
+func solveLogicStack(ctx context.Context, fp *floorplan.Floorplan, grid int, powerScale float64, method thermal.Method) (*thermal.Field, error) {
+	return thermal.Solve(ctx, buildLogicStack(fp, grid, powerScale), thermal.SolveOptions{Method: method})
 }
 
 // RunLogicThermal solves one Figure 11 bar. spec.Grid <= 0 selects the
@@ -104,7 +105,7 @@ func RunLogicThermal(ctx context.Context, spec RunSpec, o LogicOption) (LogicThe
 		return LogicThermal{}, err
 	}
 	field, err := thermal.Solve(ctx, buildLogicStack(fp, spec.Grid, 1),
-		thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
+		thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return LogicThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -160,7 +161,7 @@ func RunTable5(ctx context.Context, grid int) ([]power.Point, error) {
 	// stack determines the whole response — the bisection then costs
 	// nothing.
 	base3DPower := threeD.TotalPower()
-	ref, err := solveLogicStack(ctx, threeD, grid, 1)
+	ref, err := solveLogicStack(ctx, threeD, grid, 1, thermal.MethodLineSOR)
 	if err != nil {
 		return nil, err
 	}

@@ -276,7 +276,7 @@ func RunMemoryThermal(ctx context.Context, spec RunSpec, o MemoryOption) (Memory
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return MemoryThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -315,7 +315,7 @@ func RunMemoryThermalMap(ctx context.Context, spec RunSpec, o MemoryOption) ([][
 		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
 	}
-	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}

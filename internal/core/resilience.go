@@ -62,7 +62,7 @@ func RunManagedLogicThermal(ctx context.Context, spec RunSpec, o LogicOption, cf
 	if err != nil {
 		return out, err
 	}
-	steady, err := solveLogicStack(ctx, fp, spec.Grid, 1)
+	steady, err := solveLogicStack(ctx, fp, spec.Grid, 1, spec.Method)
 	if err != nil {
 		return out, fmt.Errorf("core: unmanaged solve: %w", err)
 	}

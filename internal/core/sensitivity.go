@@ -75,7 +75,7 @@ func RunFigure3(ctx context.Context, spec RunSpec, layer SweepLayer, ks []float6
 		}
 		stack := thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(top), thermal.SRAMDie(bot), opt)
-		field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
+		field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("core: thermal solve at %s=%g W/mK: %w", layer, k, err)
 		}
@@ -104,7 +104,7 @@ func Figure6Maps(ctx context.Context, spec RunSpec) (powerDensity [][]float64, t
 	}
 
 	stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: nx, Ny: ny})
-	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: planar thermal solve: %w", err)
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "diestack/internal/obs"
+import (
+	"diestack/internal/obs"
+	"diestack/internal/thermal"
+)
 
 // RunSpec carries the cross-cutting parameters shared by every core
 // experiment. Each Run* entry point reads only the fields it needs —
@@ -20,6 +23,9 @@ type RunSpec struct {
 	// Parallelism is the thermal solver's worker count per solve (0 =
 	// serial; see thermal.SolveOptions.Parallelism).
 	Parallelism int
+	// Method selects the thermal iteration schedule (line-SOR by
+	// default, multigrid opt-in; see thermal.SolveOptions.Method).
+	Method thermal.Method
 	// Obs, when non-nil, receives metrics and spans from every substrate
 	// the experiment exercises (memhier_*, dram_*, thermal_*, fault_*).
 	// A nil registry costs nothing on the hot paths.

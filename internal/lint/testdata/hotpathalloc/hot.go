@@ -85,6 +85,57 @@ func hotColdPath(n int) (int, error) {
 	return n * 2, nil
 }
 
+// The multigrid-smoother shape: a grid kernel iterating a flattened
+// field with preallocated scratch. This is the thermal solver's inner
+// loop idiom — all state comes in as slices, nothing escapes — and
+// must stay clean.
+type gridLevel struct {
+	n       int
+	t, q, r []float64
+	scratch []float64
+}
+
+//stacklint:hotpath
+func hotStencil(lv *gridLevel) float64 {
+	md := 0.0
+	for i := 0; i < lv.n; i++ {
+		d := lv.q[i] - lv.t[i]
+		lv.scratch[i] = d
+		if d < 0 {
+			d = -d
+		}
+		if d > md {
+			md = d
+		}
+	}
+	for i := 0; i < lv.n; i++ {
+		lv.t[i] += lv.scratch[i]
+	}
+	return md
+}
+
+// hotStencilFresh allocates its scratch per sweep instead of reusing
+// the level's — the regression the annotation exists to catch.
+//
+//stacklint:hotpath
+func hotStencilFresh(lv *gridLevel) {
+	tmp := make([]float64, 0) // fresh slice, grown in the loop
+	for i := 0; i < lv.n; i++ {
+		tmp = append(tmp, lv.q[i]-lv.t[i]) // want "capacity hint"
+	}
+	for i := 0; i < lv.n; i++ {
+		lv.t[i] += tmp[i]
+	}
+}
+
+// hotStencilNamed formats a per-level counter name inside the kernel;
+// names must be prebuilt at hierarchy-construction time instead.
+//
+//stacklint:hotpath
+func hotStencilNamed(lv *gridLevel, level int) string {
+	return fmt.Sprintf("mg_sweeps_l%d", level) // want "fmt.Sprintf"
+}
+
 // unannotated functions may allocate freely.
 func cold(n int) string {
 	return fmt.Sprint(n)

@@ -47,6 +47,29 @@ func BenchmarkSolve64Parallel8(b *testing.B) {
 	}
 }
 
+// BenchmarkSolve32Multigrid solves the 32-class stack on the multigrid
+// schedule, hierarchy build included (cold-solve cost).
+func BenchmarkSolve32Multigrid(b *testing.B) {
+	s := benchStack(32)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(context.Background(), s, SolveOptions{Method: MethodMultigrid}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve64Multigrid is the headline algorithmic benchmark: the
+// same solve as BenchmarkSolve64, same default tolerance, single core,
+// on V-cycles instead of alternating-direction line-SOR.
+func BenchmarkSolve64Multigrid(b *testing.B) {
+	s := benchStack(64)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(context.Background(), s, SolveOptions{Method: MethodMultigrid}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWorkspaceResolve32 measures a re-solve on a kept Workspace
 // (the retry/DTM/sweep path): discretization is amortized away, only
 // iteration remains.
@@ -60,6 +83,28 @@ func BenchmarkWorkspaceResolve32(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.Solve(context.Background(), SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkspaceResolve64Multigrid measures the multigrid re-solve
+// path on a kept Workspace: the hierarchy is already allocated, so
+// this is the pure allocation-free V-cycle iteration cost — the shape
+// of every transient step and DTM sample.
+func BenchmarkWorkspaceResolve64Multigrid(b *testing.B) {
+	s := benchStack(64)
+	w, err := NewWorkspace(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Solve(context.Background(), SolveOptions{Method: MethodMultigrid}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(context.Background(), SolveOptions{Method: MethodMultigrid}); err != nil {
 			b.Fatal(err)
 		}
 	}

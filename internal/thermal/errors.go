@@ -103,6 +103,43 @@ func checkParallelism(p int) (int, error) {
 	return p, nil
 }
 
+// ErrBadMethod reports a SolveOptions.Method (or
+// TransientOptions.Method) value outside the defined schedules. It is
+// wrapped by *MethodError, which carries the offending value; match
+// with errors.Is against this sentinel and errors.As against
+// *MethodError. ParseMethod failures wrap it too.
+var ErrBadMethod = errors.New("thermal: invalid Method")
+
+// MethodError is the typed error returned for an unknown
+// SolveOptions.Method or TransientOptions.Method.
+type MethodError struct {
+	// Requested is the rejected setting.
+	Requested Method
+}
+
+// Error implements the error interface.
+func (e *MethodError) Error() string {
+	return fmt.Sprintf("thermal: unknown solve method %d (have %s and %s)",
+		int(e.Requested), MethodLineSOR, MethodMultigrid)
+}
+
+// Unwrap maps the error onto its sentinel for errors.Is.
+func (e *MethodError) Unwrap() error { return ErrBadMethod }
+
+// dampForRetry maps a diverged attempt onto the next rung of the
+// recovery ladder, method-aware: a diverged line-SOR attempt keeps the
+// method and damps its own relaxation factor; a diverged (or stalled)
+// multigrid attempt falls back to damped line-SOR, restarting from the
+// caller's SOR default rather than from the multigrid smoother's
+// factor — the smoother relaxation is not an SOR over-relaxation, so
+// damping it would not pick a sensible SOR operating point.
+func dampForRetry(m Method, omega, sorOmega float64) (Method, float64) {
+	if m == MethodMultigrid {
+		return MethodLineSOR, dampOmega(sorOmega)
+	}
+	return m, dampOmega(omega)
+}
+
 // dampOmega returns the next, more conservative relaxation factor for a
 // divergence-recovery restart: halve the over-relaxation and cap at
 // 1.5. Repeated damping approaches 1.0 (plain line Gauss-Seidel), which

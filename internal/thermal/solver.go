@@ -9,18 +9,26 @@ import (
 
 // SolveOptions tunes the solver. Zero values select the defaults.
 type SolveOptions struct {
-	// MaxCycles bounds the number of alternating-direction cycles
-	// (default 4000). One cycle is a z-, x-, and y-line sweep.
+	// Method selects the iteration schedule: MethodLineSOR (the
+	// default, bit-compatible with prior releases) or MethodMultigrid
+	// (V-cycles, typically an order of magnitude fewer cycles on fine
+	// grids; deterministic but not bit-identical to line-SOR). Unknown
+	// values are rejected with a *MethodError wrapping ErrBadMethod.
+	Method Method
+	// MaxCycles bounds the number of iteration cycles (default 4000).
+	// One cycle is a z-, x-, and y-line sweep for MethodLineSOR, or
+	// one V-cycle for MethodMultigrid.
 	MaxCycles int
 	// Tolerance is the convergence threshold: the solution is accepted
 	// when the global energy imbalance |heat out - power in| drops
 	// below Tolerance times the injected power AND the per-cycle
 	// maximum temperature change is below 1e-4 K (default 1e-3).
 	Tolerance float64
-	// Omega over-relaxes the line updates, in (0,2) (default 1.8).
-	// Values at or above 2 make the iteration diverge; the solver
-	// detects the blow-up and retries with a damped factor (see
-	// MaxRecoveries).
+	// Omega relaxes the line updates, in (0,2). The default is
+	// method-aware: 1.8 (over-relaxation) for MethodLineSOR, 1.0
+	// (exact line Gauss-Seidel smoothing) for MethodMultigrid. Values
+	// at or above 2 make the iteration diverge; the solver detects the
+	// blow-up and retries on the recovery ladder (see MaxRecoveries).
 	Omega float64
 	// MaxRecoveries bounds the damped-relaxation restarts attempted
 	// after a detected divergence (NaN/Inf or sustained residual
@@ -42,6 +50,12 @@ type SolveOptions struct {
 	Obs *obs.Registry
 }
 
+// defaultSteadyOmega is the line-SOR over-relaxation default for steady
+// solves; it also anchors the multigrid→damped-SOR fallback ladder (a
+// fallback restarts from dampOmega(defaultSteadyOmega), not from the
+// multigrid smoother's factor).
+const defaultSteadyOmega = 1.8
+
 func (o SolveOptions) withDefaults() SolveOptions {
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 4000
@@ -50,7 +64,11 @@ func (o SolveOptions) withDefaults() SolveOptions {
 		o.Tolerance = 1e-3
 	}
 	if o.Omega == 0 {
-		o.Omega = 1.8
+		if o.Method == MethodMultigrid {
+			o.Omega = 1.0
+		} else {
+			o.Omega = defaultSteadyOmega
+		}
 	}
 	if o.MaxRecoveries == 0 {
 		o.MaxRecoveries = 2

@@ -11,20 +11,28 @@ import (
 
 // TransientOptions tunes SolveTransient.
 type TransientOptions struct {
+	// Method selects the inner iteration schedule per implicit step:
+	// MethodLineSOR (default) or MethodMultigrid (V-cycles; this is
+	// where the once-allocated hierarchy pays off most, since every
+	// time step reuses it). Unknown values are rejected with a
+	// *MethodError wrapping ErrBadMethod.
+	Method Method
 	// Dt is the time step in seconds. Implicit Euler is
 	// unconditionally stable, so Dt trades accuracy for speed; the die
 	// responds in milliseconds and the sink in tens of seconds.
 	Dt float64
 	// Steps is the number of time steps to take.
 	Steps int
-	// InnerCycles is the number of alternating-direction cycles solved
-	// per implicit step (default 10).
+	// InnerCycles is the number of inner cycles solved per implicit
+	// step (default 10): alternating-direction cycles for
+	// MethodLineSOR, V-cycles for MethodMultigrid.
 	InnerCycles int
 	// InitialC is the uniform starting temperature (default ambient).
 	InitialC float64
-	// Omega over-relaxes the inner line solves (default 1.5; the
-	// capacity term strengthens the diagonal, so less relaxation is
-	// needed than for steady solves).
+	// Omega relaxes the inner line solves. The default is
+	// method-aware: 1.5 for MethodLineSOR (the capacity term
+	// strengthens the diagonal, so less relaxation is needed than for
+	// steady solves), 1.0 for MethodMultigrid.
 	Omega float64
 	// MaxRecoveries bounds the divergence-recovery restarts: when a
 	// step produces a non-finite temperature the whole integration is
@@ -51,12 +59,21 @@ type TransientOptions struct {
 	Obs *obs.Registry
 }
 
+// defaultTransientOmega is the line-SOR relaxation default for
+// transient inner solves; it anchors the multigrid→damped-SOR fallback
+// ladder the same way defaultSteadyOmega does for steady solves.
+const defaultTransientOmega = 1.5
+
 func (o TransientOptions) withDefaults() TransientOptions {
 	if o.InnerCycles == 0 {
 		o.InnerCycles = 10
 	}
 	if o.Omega == 0 {
-		o.Omega = 1.5
+		if o.Method == MethodMultigrid {
+			o.Omega = 1.0
+		} else {
+			o.Omega = defaultTransientOmega
+		}
 	}
 	if o.MaxRecoveries == 0 {
 		o.MaxRecoveries = 2
@@ -121,6 +138,9 @@ func SolveTransient(ctx context.Context, s *Stack, opt TransientOptions) (*Trans
 // and recovery attempt. Semantics match the package-level
 // SolveTransient.
 func (w *Workspace) SolveTransient(ctx context.Context, opt TransientOptions) (*TransientResult, error) {
+	if err := opt.Method.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.Dt <= 0 || opt.Steps <= 0 {
 		return nil, fmt.Errorf("thermal: transient needs positive Dt and Steps, got %g/%d", opt.Dt, opt.Steps)
 	}
@@ -136,14 +156,16 @@ func (w *Workspace) SolveTransient(ctx context.Context, opt TransientOptions) (*
 	sp := opt.Obs.StartSpan("thermal/transient")
 	defer sp.End()
 
-	omega := opt.Omega
+	method, omega := opt.Method, opt.Omega
 	dt, steps := opt.Dt, opt.Steps
 	for attempt := 0; ; attempt++ {
-		res, err := w.transientOnce(ctx, opt, pool, omega, dt, steps, attempt)
+		res, err := w.transientOnce(ctx, opt, pool, method, omega, dt, steps, attempt)
 		var ce *ConvergenceError
 		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
 			opt.Obs.Counter("thermal_divergence_retries").Inc()
-			omega = dampOmega(omega)
+			// Method-aware ladder: multigrid falls back to damped
+			// line-SOR; line-SOR damps its own factor.
+			method, omega = dampForRetry(method, omega, defaultTransientOmega)
 			if attempt+1 == opt.MaxRecoveries {
 				// Last resort: also halve the time step, doubling the
 				// step count to preserve the simulated horizon.
@@ -157,7 +179,7 @@ func (w *Workspace) SolveTransient(ctx context.Context, opt TransientOptions) (*
 }
 
 // transientOnce runs one integration attempt.
-func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, pool *sweepPool, omega, dt float64, steps, recoveries int) (*TransientResult, error) {
+func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, pool *sweepPool, method Method, omega, dt float64, steps, recoveries int) (*TransientResult, error) {
 	sv := w.sv
 	sv.reset(omega)
 	if opt.InitialC != 0 {
@@ -170,6 +192,16 @@ func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, poo
 		sv.capOverDt[i] = sv.cellCap[i] / dt
 	}
 	copy(sv.tOld, sv.t)
+
+	// The hierarchy restricts the capacity terms per attempt (they
+	// depend on dt, which recovery halves), so beginSolve runs after
+	// capOverDt is in place.
+	var h *mgHier
+	if method == MethodMultigrid {
+		h = w.hier()
+		h.beginSolve()
+		defer h.publish(opt.Obs)
+	}
 
 	res := &TransientResult{
 		Times:      make([]float64, 0, steps),
@@ -205,7 +237,13 @@ func (w *Workspace) transientOnce(ctx context.Context, opt TransientOptions, poo
 		}
 		lastDelta := 0.0
 		for c := 0; c < opt.InnerCycles; c++ {
-			lastDelta = w.cycle(pool)
+			if h != nil {
+				copy(h.tPrev, sv.t)
+				h.vcycle(omega)
+				lastDelta = maxAbsDiff(sv.t, h.tPrev)
+			} else {
+				lastDelta = w.cycle(pool)
+			}
 			if lastDelta < 1e-6 {
 				break
 			}

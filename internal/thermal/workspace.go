@@ -23,6 +23,12 @@ import (
 type Workspace struct {
 	sv   *solver
 	pool *sweepPool
+	// mg is the multigrid hierarchy, built lazily on the first
+	// MethodMultigrid solve and reused by every solve after it (the
+	// coarse operators depend only on the discretization, which a
+	// Workspace never mutates). Steady-state V-cycles are
+	// allocation-free once this exists.
+	mg *mgHier
 }
 
 // NewWorkspace validates and discretizes the stack once, for many
@@ -77,10 +83,30 @@ func (w *Workspace) cycle(pool *sweepPool) float64 {
 	return math.Max(d1, math.Max(d2, d3))
 }
 
+// hier returns the workspace's multigrid hierarchy, building it on
+// first use. The hierarchy aliases the solver's arrays on its fine
+// level, so it always iterates the current sources and capacity terms.
+func (w *Workspace) hier() *mgHier {
+	if w.mg == nil {
+		w.mg = newMGHier(w.sv)
+	}
+	return w.mg
+}
+
 // Solve computes the steady-state field, reusing the workspace's
-// discretization and worker pool. Semantics match the package-level
-// Solve; the context is checked between alternating-direction cycles.
+// discretization, multigrid hierarchy, and worker pool. Semantics
+// match the package-level Solve; the context is checked between
+// cycles.
+//
+// A MethodMultigrid attempt that diverges falls back to damped
+// line-SOR (the recovery ladder is method-aware: multigrid has no
+// over-relaxation to damp, so the retry restarts line-SOR from a
+// damped copy of its own default factor). Line-SOR attempts damp their
+// own omega, as before.
 func (w *Workspace) Solve(ctx context.Context, opt SolveOptions) (*Field, error) {
+	if err := opt.Method.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	workers, err := checkParallelism(opt.Parallelism)
 	if err != nil {
@@ -89,13 +115,19 @@ func (w *Workspace) Solve(ctx context.Context, opt SolveOptions) (*Field, error)
 	pool := w.poolFor(workers)
 	sp := opt.Obs.StartSpan("thermal/solve")
 	defer sp.End()
-	omega := opt.Omega
+	method, omega := opt.Method, opt.Omega
 	for attempt := 0; ; attempt++ {
-		f, err := w.solveOnce(ctx, opt, pool, omega, attempt)
+		var f *Field
+		var err error
+		if method == MethodMultigrid {
+			f, err = w.solveOnceMG(ctx, opt, omega, attempt)
+		} else {
+			f, err = w.solveOnce(ctx, opt, pool, omega, attempt)
+		}
 		var ce *ConvergenceError
 		if errors.As(err, &ce) && ce.Diverged && attempt < opt.MaxRecoveries {
 			opt.Obs.Counter("thermal_divergence_retries").Inc()
-			omega = dampOmega(omega)
+			method, omega = dampForRetry(method, omega, defaultSteadyOmega)
 			continue
 		}
 		w.publishSolve(opt.Obs, f)
@@ -168,6 +200,94 @@ func (w *Workspace) solveOnce(ctx context.Context, opt SolveOptions, pool *sweep
 		// physical temperature, or sustained geometric growth well
 		// above the starting delta. Legitimate solves shrink deltas
 		// from cycle one.
+		if !isFinite(maxDelta) || maxDelta > 1e8 || (grow >= 25 && maxDelta > 100*delta0) {
+			return nil, &ConvergenceError{
+				Residual:   sv.relResidual(),
+				Sweeps:     cycles + 1,
+				Omega:      omega,
+				Recoveries: recoveries,
+				Diverged:   true,
+			}
+		}
+
+		if maxDelta < 1e-4 {
+			out := sv.heatOut()
+			if sv.totalPower == 0 || math.Abs(out-sv.totalPower) <= opt.Tolerance*math.Max(sv.totalPower, 1e-9) {
+				cycles++
+				converged = true
+				break
+			}
+		}
+	}
+
+	f := sv.field(cycles)
+	f.recoveries = recoveries
+	if !converged {
+		return f, &ConvergenceError{
+			Residual:   sv.relResidual(),
+			Sweeps:     cycles,
+			Omega:      omega,
+			Recoveries: recoveries,
+		}
+	}
+	return f, nil
+}
+
+// solveOnceMG runs one steady multigrid solve attempt. The structure
+// mirrors solveOnce — same reset, constant-mode deflation, divergence
+// watchdog, and convergence test — with one V-cycle taking the place
+// of one alternating-direction cycle. The multigrid path is serial by
+// construction (its red-black sweep order is already fixed and
+// deterministic); Parallelism is validated as usual but only exercises
+// the pool if the recovery ladder falls back to line-SOR.
+func (w *Workspace) solveOnceMG(ctx context.Context, opt SolveOptions, omega float64, recoveries int) (*Field, error) {
+	sv := w.sv
+	sv.reset(omega)
+	h := w.hier()
+	h.beginSolve()
+	defer h.publish(opt.Obs)
+
+	gBoundary := 0.0
+	for i := range sv.gTop {
+		gBoundary += sv.gTop[i] + sv.gBot[i]
+	}
+
+	var delta0 float64
+	prevDelta := math.Inf(1)
+	grow := 0
+	converged := false
+
+	cycles := 0
+	for ; cycles < opt.MaxCycles; cycles++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		copy(h.tPrev, sv.t)
+		h.vcycle(omega)
+
+		// Constant-mode deflation, exactly as in solveOnce: zero the
+		// global energy imbalance with a uniform shift. The V-cycle's
+		// coarsest level already moves this mode well, but the shift
+		// makes the energy test exact and keeps the two schedules'
+		// convergence contracts identical.
+		shift := (sv.totalPower - sv.heatOut()) / gBoundary
+		for i := range sv.t {
+			sv.t[i] += shift
+		}
+		// The cycle's delta spans the whole V-cycle plus the shift
+		// (coarse corrections land via prolongation, so per-column
+		// smoother deltas alone would understate the update).
+		maxDelta := maxAbsDiff(sv.t, h.tPrev)
+
+		if cycles == 0 {
+			delta0 = maxDelta
+		}
+		if maxDelta > prevDelta {
+			grow++
+		} else {
+			grow = 0
+		}
+		prevDelta = maxDelta
 		if !isFinite(maxDelta) || maxDelta > 1e8 || (grow >= 25 && maxDelta > 100*delta0) {
 			return nil, &ConvergenceError{
 				Residual:   sv.relResidual(),

@@ -26,6 +26,19 @@ echo "== benchmark smoke =="
 # exercised by tests already, so the smoke stays inside internal/.
 go test -run '^$' -bench . -benchtime 1x ./internal/... >/dev/null
 
+echo "== multigrid solver smoke =="
+# One short multigrid solve through the CLI: the -solver flag must
+# reach the thermal substrate, and the metrics snapshot must carry the
+# thermal_mg_* family (V-cycle and per-level sweep counters) alongside
+# the regular thermal family.
+mgtmp=$(mktemp -d)
+trap 'rm -rf "$mgtmp"' EXIT
+go run ./cmd/thermal3d -baseline -grid 32 -solver multigrid \
+    -metrics-out "$mgtmp/mg-metrics.jsonl" >/dev/null
+grep -q thermal_mg_cycles "$mgtmp/mg-metrics.jsonl"
+go run ./internal/obs/cmd/checksnap -families thermal,thermal_mg "$mgtmp/mg-metrics.jsonl"
+rm -rf "$mgtmp"
+
 echo "== supervised campaign smoke =="
 # A small supervised sweep: every job must finish OK, the manifest must
 # be written, and the -metrics-out JSONL must carry all five metric
