@@ -214,19 +214,19 @@ func BenchmarkFigure8StackThermal(b *testing.B) {
 // pipeline elimination gains (Table 4).
 func BenchmarkTable4PipelineGains(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, total, stagesPct, err := core.RunTable4(context.Background(), 1, 200_000)
+		t4, err := core.RunTable4(context.Background(), core.Table4Request{Spec: core.RunSpec{Seed: 1}, Instructions: 200_000})
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(total, "totalGain%")
-		b.ReportMetric(stagesPct, "stagesGone%")
+		b.ReportMetric(t4.TotalGainPct, "totalGain%")
+		b.ReportMetric(t4.StagesEliminatedPct, "stagesGone%")
 		printOnce(b, i, func() {
 			fmt.Printf("\nTable 4 — Logic+Logic pipeline gains:\n")
-			for _, r := range rows {
+			for _, r := range t4.Rows {
 				fmt.Printf("  %-26s %5.1f%% of stages  %+6.2f%% perf (paper ~%.2f%%)\n",
 					r.Name, r.StagesPct, r.GainPct, r.PaperGainPct)
 			}
-			fmt.Printf("  Total: %.1f%% of stages, %+.2f%% perf (paper ~25%% / ~15%%)\n", stagesPct, total)
+			fmt.Printf("  Total: %.1f%% of stages, %+.2f%% perf (paper ~25%% / ~15%%)\n", t4.StagesEliminatedPct, t4.TotalGainPct)
 		})
 	}
 }
@@ -257,7 +257,7 @@ func BenchmarkFigure11LogicThermal(b *testing.B) {
 // (Table 5).
 func BenchmarkTable5VoltageScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := core.RunTable5(context.Background(), 64)
+		rows, err := core.RunTable5(context.Background(), core.Table5Request{Spec: core.RunSpec{Grid: 64}})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -20,6 +20,8 @@ import (
 
 	"diestack/internal/core"
 	"diestack/internal/harness"
+	"diestack/internal/power"
+	"diestack/internal/wire"
 )
 
 // cli holds the shared flag group (-parallel, profiling, -metrics-out,
@@ -64,14 +66,14 @@ func main() {
 
 	spec := core.RunSpec{Seed: *seed, Grid: *grid, Parallelism: cli.Parallel, Method: cli.Method(), Obs: cli.Obs()}
 	if *autoOnly {
-		if err := printAutoFold(ctx, *grid); err != nil {
+		if err := printAutoFold(ctx, spec); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	all := !*t4Only && !*t5Only && !*thermOnly
 	if *t4Only || all {
-		if err := printTable4(ctx, *seed, *insts); err != nil {
+		if err := printTable4(ctx, spec, *insts); err != nil {
 			fatal(err)
 		}
 	}
@@ -83,10 +85,21 @@ func main() {
 	}
 	if *t5Only || all {
 		fmt.Println()
-		if err := printTable5(ctx, *grid); err != nil {
+		if err := printTable5(ctx, spec); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// experiment dispatches one catalog experiment and returns its raw
+// result value; every stacklogic mode goes through this single entry
+// point.
+func experiment(ctx context.Context, spec core.RunSpec, name string, params any) (any, error) {
+	res, err := core.RunExperiment(ctx, name, core.ExperimentRequest{Spec: spec, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
 }
 
 func fatal(err error) {
@@ -97,15 +110,16 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func printTable4(ctx context.Context, seed uint64, n int) error {
-	rows, total, stagesPct, err := core.RunTable4(ctx, seed, n)
+func printTable4(ctx context.Context, spec core.RunSpec, n int) error {
+	v, err := experiment(ctx, spec, "table4", &core.Table4Params{Instructions: n})
 	if err != nil {
 		return err
 	}
+	t4 := v.(core.Table4Result)
 	fmt.Println("Table 4 — Logic+Logic 3D stacking performance improvement:")
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "functionality\tstages eliminated\tpaper\tperf gain\tpaper")
-	for _, r := range rows {
+	for _, r := range t4.Rows {
 		paperStages := "Variable"
 		if r.PaperStagesPct > 0 {
 			paperStages = fmt.Sprintf("%.1f%%", r.PaperStagesPct)
@@ -113,24 +127,25 @@ func printTable4(ctx context.Context, seed uint64, n int) error {
 		fmt.Fprintf(w, "%s\t%.1f%%\t%s\t%.2f%%\t~%.2f%%\n",
 			r.Name, r.StagesPct, paperStages, r.GainPct, r.PaperGainPct)
 	}
-	fmt.Fprintf(w, "Total\t%.1f%%\t~25%%\t%.2f%%\t~15%%\n", stagesPct, total)
+	fmt.Fprintf(w, "Total\t%.1f%%\t~25%%\t%.2f%%\t~15%%\n", t4.StagesEliminatedPct, t4.TotalGainPct)
 	if err := w.Flush(); err != nil {
 		return err
 	}
 
-	paths, err := core.RunWireDerivation(ctx)
+	v, err = experiment(ctx, spec, "wire-derivation", nil)
 	if err != nil {
 		return err
 	}
 	fmt.Println("\nWire-derived stage counts (repeated-wire RC model on the two floorplans):")
-	for _, p := range paths {
+	for _, p := range v.([]core.WirePath) {
 		fmt.Printf("  %-14s planar %d stage(s) -> 3D %d\n", p.Path, p.PlanarStages, p.FoldedStages)
 	}
 
-	saving, err := core.RunPowerDerivation(ctx)
+	v, err = experiment(ctx, spec, "power-derivation", nil)
 	if err != nil {
 		return err
 	}
+	saving := v.(wire.SavingReport)
 	fmt.Printf("\nWire-derived power saving: planar interconnect %.1f W -> 3D %.1f W: %.1f W saved = %.1f%% of %d W (paper asserts 15%%)\n",
 		saving.Planar.TotalW(), saving.Folded.TotalW(), saving.SavedW, saving.SavingPctOfTotal, 147)
 	return nil
@@ -142,7 +157,10 @@ func printFigure11(ctx context.Context, spec core.RunSpec, jobs int) error {
 	if jobs > 1 {
 		rows, err = runFigure11Parallel(ctx, spec, jobs)
 	} else {
-		rows, err = core.RunFigure11(ctx, spec)
+		var v any
+		if v, err = experiment(ctx, spec, "fig11", nil); err == nil {
+			rows = v.([]core.LogicThermal)
+		}
 	}
 	if err != nil {
 		return err
@@ -167,7 +185,7 @@ func runFigure11Parallel(ctx context.Context, spec core.RunSpec, jobs int) ([]co
 		hjobs = append(hjobs, harness.Job{
 			Name: o.String(),
 			Run: func(ctx context.Context) (any, error) {
-				return core.RunLogicThermal(ctx, spec, o)
+				return experiment(ctx, spec, "logic-thermal", &core.LogicThermalParams{Variant: o.Slug()})
 			},
 		})
 	}
@@ -186,11 +204,12 @@ func runFigure11Parallel(ctx context.Context, spec core.RunSpec, jobs int) ([]co
 	return rows, nil
 }
 
-func printTable5(ctx context.Context, grid int) error {
-	rows, err := core.RunTable5(ctx, grid)
+func printTable5(ctx context.Context, spec core.RunSpec) error {
+	v, err := experiment(ctx, spec, "table5", nil)
 	if err != nil {
 		return err
 	}
+	rows := v.([]power.Point)
 	fmt.Println("Table 5 — frequency and voltage scaling of the 3D floorplan:")
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "scenario\tpower W\tpower %\tperf %\tVcc\tfreq")
@@ -201,11 +220,12 @@ func printTable5(ctx context.Context, grid int) error {
 	return w.Flush()
 }
 
-func printAutoFold(ctx context.Context, grid int) error {
-	cmp, err := core.RunAutoFold(ctx, grid)
+func printAutoFold(ctx context.Context, spec core.RunSpec) error {
+	v, err := experiment(ctx, spec, "autofold", nil)
 	if err != nil {
 		return err
 	}
+	cmp := v.(core.AutoFoldComparison)
 	fmt.Println("Automatic place-observe-repair fold vs the hand-crafted Figure 10 fold:")
 	fmt.Printf("  critical wire: planar %.2f mm, hand fold %.2f mm, auto fold %.2f mm\n",
 		cmp.PlanarWire*1e3, cmp.HandWire*1e3, cmp.AutoWire*1e3)

@@ -505,6 +505,37 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// experiment dispatches one catalog experiment and returns its raw
+// result value; the perf and thermal modes go through this single
+// entry point (the campaign modes dispatch via core.CampaignJobs,
+// which uses the same catalog).
+func experiment(ctx context.Context, spec core.RunSpec, name string, params any) (any, error) {
+	res, err := core.RunExperiment(ctx, name, core.ExperimentRequest{Spec: spec, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// faultParams projects the validated fault flag group onto the
+// catalog's wire-shaped params (nil when no injection was requested).
+func faultParams(fc fault.Config) *core.FaultParams {
+	if !fc.Enabled() {
+		return nil
+	}
+	return &core.FaultParams{
+		Seed:              fc.Seed,
+		CorrectablePerM:   fc.CorrectablePerMAccess,
+		UncorrectablePerM: fc.UncorrectablePerMAccess,
+		DeadBanks:         fc.DeadBanks,
+		TSVFailFrac:       fc.TSVFailFrac,
+		SensorNoiseC:      fc.SensorNoiseC,
+		SensorOffsetC:     fc.SensorOffsetC,
+		SensorStuck:       fc.SensorStuckAt,
+		SensorStuckAtC:    fc.SensorStuckAtC,
+	}
+}
+
 // replayFile runs a tracegen-produced binary trace through all four
 // configurations.
 func replayFile(ctx context.Context, rs core.RunSpec, path string, fc fault.Config) error {
@@ -598,10 +629,12 @@ func runPerf(ctx context.Context, rs core.RunSpec, bench string, fc fault.Config
 	for _, b := range benches {
 		var a agg
 		for _, o := range opts {
-			p, err := core.RunMemoryPerfWithFaults(ctx, rs, o, b, fc)
+			v, err := experiment(ctx, rs, "memory-perf",
+				&core.MemoryPerfParams{CapacityMB: o.CapacityMB(), Benchmark: b.Name, Faults: faultParams(fc)})
 			if err != nil {
 				return err
 			}
+			p := v.(core.MemoryPerf)
 			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%.3f\t%.1f",
 				b.Name, o, p.CPMA, p.BandwidthGBs, p.BusPowerW, float64(p.OffDieBytes)/(1<<20))
 			if fc.Enabled() {
@@ -663,10 +696,12 @@ func printPower() {
 
 // writeThermalMap renders Figure 8(b): the 32MB stack's thermal map.
 func writeThermalMap(ctx context.Context, rs core.RunSpec, path string) error {
-	m, err := core.RunMemoryThermalMap(ctx, rs, core.Stacked32MB)
+	v, err := experiment(ctx, rs, "memory-thermal-map",
+		&core.MemoryThermalParams{CapacityMB: core.Stacked32MB.CapacityMB()})
 	if err != nil {
 		return err
 	}
+	m := v.([][]float64)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -681,10 +716,11 @@ func writeThermalMap(ctx context.Context, rs core.RunSpec, path string) error {
 
 func printThermal(ctx context.Context, rs core.RunSpec) error {
 	fmt.Println("Peak temperatures (Figure 8a):")
-	rows, err := core.RunFigure8(ctx, rs)
+	v, err := experiment(ctx, rs, "fig8", nil)
 	if err != nil {
 		return err
 	}
+	rows := v.([]core.MemoryThermal)
 	paper := map[core.MemoryOption]float64{
 		core.Planar4MB: 88.35, core.Stacked12MB: 92.85,
 		core.Stacked32MB: 88.43, core.Stacked64MB: 90.27,

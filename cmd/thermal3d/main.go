@@ -123,11 +123,17 @@ func runDTM(ctx context.Context, spec core.RunSpec, tmax, hyst, dt float64, step
 		return fmt.Errorf("sensor flags: %w", err)
 	}
 
-	res, err := core.RunManagedLogicThermal(ctx, spec, core.Logic3D, cfg, fc,
-		thermal.TransientOptions{Dt: dt, Steps: steps, Parallelism: spec.Parallelism, Method: spec.Method})
+	params := &core.ManagedThermalParams{
+		Variant: core.Logic3D.Slug(), TmaxC: tmax, HysteresisC: hyst,
+		MinFreq: minFreq, DtSeconds: dt, Steps: steps, Faults: faultParams(fc),
+	}
+	out, err := core.RunExperiment(ctx, "managed-logic-thermal",
+		core.ExperimentRequest{Spec: spec, Params: params})
 	if err != nil && !errors.Is(err, dtm.ErrThermalRunaway) {
 		return err
 	}
+	// On runaway the catalog still carries the partial trajectory.
+	res := out.Value.(core.ManagedLogicThermal)
 
 	fmt.Printf("DTM on the 3D logic stack (Tmax %.1f degC, %d samples at %.2fs):\n", tmax, steps, dt)
 	fmt.Printf("  unmanaged steady peak  %7.2f degC\n", res.UnmanagedPeakC)
@@ -170,6 +176,32 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// experiment dispatches one catalog experiment and returns its raw
+// result value; every thermal3d mode goes through this single entry
+// point.
+func experiment(ctx context.Context, spec core.RunSpec, name string, params any) (any, error) {
+	res, err := core.RunExperiment(ctx, name, core.ExperimentRequest{Spec: spec, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// faultParams projects the validated sensor flag group onto the
+// catalog's wire-shaped params (nil when no injection was requested).
+func faultParams(fc fault.Config) *core.FaultParams {
+	if !fc.Enabled() {
+		return nil
+	}
+	return &core.FaultParams{
+		Seed:           fc.Seed,
+		SensorNoiseC:   fc.SensorNoiseC,
+		SensorOffsetC:  fc.SensorOffsetC,
+		SensorStuck:    fc.SensorStuckAt,
+		SensorStuckAtC: fc.SensorStuckAtC,
+	}
+}
+
 func printMaterials() {
 	fmt.Println("Thermal constants (Table 2):")
 	rows := []struct {
@@ -195,10 +227,12 @@ func printMaterials() {
 // printBaseline solves the planar reference and renders the Figure 6
 // temperature map as ASCII shading.
 func printBaseline(ctx context.Context, spec core.RunSpec, pngOut string) error {
-	pd, tm, err := core.Figure6Maps(ctx, spec)
+	v, err := experiment(ctx, spec, "fig6", nil)
 	if err != nil {
 		return err
 	}
+	maps := v.(core.Figure6Result)
+	pd, tm := maps.PowerDensity, maps.Temperature
 	if pngOut != "" {
 		f, err := os.Create(pngOut)
 		if err != nil {
@@ -248,10 +282,15 @@ func printBaseline(ctx context.Context, spec core.RunSpec, pngOut string) error 
 func printSweep(ctx context.Context, spec core.RunSpec) error {
 	fmt.Println("Figure 3 — peak temperature vs layer conductivity (stacked microprocessor):")
 	for _, layer := range []core.SweepLayer{core.SweepCuMetal, core.SweepBond} {
-		pts, err := core.RunFigure3(ctx, spec, layer, nil)
+		slug := "cu-metal"
+		if layer == core.SweepBond {
+			slug = "bond"
+		}
+		v, err := experiment(ctx, spec, "fig3", &core.Fig3Params{Layer: slug})
 		if err != nil {
 			return err
 		}
+		pts := v.([]core.SensitivityPoint)
 		fmt.Printf("  %s:\n", layer)
 		for _, p := range pts {
 			fmt.Printf("    k=%5.1f W/mK  peak %.2f degC\n", p.ConductivityWmK, p.PeakC)

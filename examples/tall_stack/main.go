@@ -25,7 +25,8 @@ const grid = 48
 func main() {
 	// Steady state: one rung at a time.
 	fmt.Println("capacity ladder (steady state):")
-	pts, err := core.RunMultiDieSweep(context.Background(), 4, grid)
+	pts, err := core.RunMultiDieSweep(context.Background(),
+		core.MultiDieRequest{Spec: core.RunSpec{Grid: grid}, MaxDies: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,96 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+)
+
+type wire struct {
+	Seed   uint64   `json:"seed"`
+	Scale  float64  `json:"scale"`
+	Names  []string `json:"names,omitempty"`
+	Method string   `json:"method,omitempty"`
+}
+
+func TestMarshalIsDeterministicAndOmitsDefaults(t *testing.T) {
+	w := wire{Seed: 7, Scale: 0.5}
+	a, err := Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("non-deterministic encoding: %s vs %s", a, b)
+	}
+	if want := `{"seed":7,"scale":0.5}`; string(a) != want {
+		t.Fatalf("encoding = %s, want %s", a, want)
+	}
+	if strings.Contains(string(a), "method") {
+		t.Fatalf("default method not omitted: %s", a)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := wire{Seed: 3, Scale: 1, Names: []string{"gauss"}, Method: "multigrid"}
+	raw, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out wire
+	if err := Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seed != in.Seed || out.Scale != in.Scale || out.Method != in.Method ||
+		len(out.Names) != 1 || out.Names[0] != "gauss" {
+		t.Fatalf("round trip lost data: %+v -> %+v", in, out)
+	}
+	// Re-encoding the decoded value reproduces the bytes exactly.
+	raw2, err := Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("re-encode differs: %s vs %s", raw, raw2)
+	}
+}
+
+func TestUnmarshalStrictness(t *testing.T) {
+	var w wire
+	if err := Unmarshal([]byte(`{"seed":1,"intruder":2}`), &w); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := Unmarshal([]byte(`{"seed":1}{"seed":2}`), &w); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if err := Unmarshal([]byte(`{garbage`), &w); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	// The hash of a canonical encoding is pinned: cache keys and worker
+	// fencing both depend on it never drifting across releases.
+	h, err := Hash(wire{Seed: 7, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "c2b128ba4221e2f4cd57158a06be350f1167a14282f922c7ad9257694f73db27"
+	if h != want {
+		t.Fatalf("Hash = %s, want %s", h, want)
+	}
+	if h2 := HashBytes([]byte(`{"seed":7,"scale":0.5}`)); h2 != h {
+		t.Fatalf("HashBytes disagrees with Hash: %s vs %s", h2, h)
+	}
+}
+
+func TestMarshalRejectsUnencodable(t *testing.T) {
+	if _, err := Marshal(map[string]any{"f": func() {}}); err == nil {
+		t.Error("func value encoded")
+	}
+	if _, err := Hash(make(chan int)); err == nil {
+		t.Error("channel hashed")
+	}
+}

@@ -1,12 +1,12 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
 
+	"diestack/internal/canon"
 	"diestack/internal/harness"
 	"diestack/internal/obs"
 	"diestack/internal/thermal"
@@ -43,6 +43,10 @@ type CampaignSpec struct {
 	// harness.Config.Obs is set separately — the harness itself, so one
 	// registry sees the whole campaign.
 	Obs *obs.Registry
+	// Workspaces, when non-nil, pools thermal discretizations across
+	// the campaign's solves (see RunSpec.Workspaces). Process-local,
+	// never on the wire.
+	Workspaces *thermal.WorkspaceCache
 }
 
 // runSpec projects the campaign parameters onto the per-experiment
@@ -55,6 +59,7 @@ func (spec CampaignSpec) runSpec() RunSpec {
 		Parallelism: spec.Parallelism,
 		Method:      spec.Method,
 		Obs:         spec.Obs,
+		Workspaces:  spec.Workspaces,
 	}
 }
 
@@ -86,37 +91,45 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 		}
 	}
 
+	// Every job dispatches through the experiment catalog — the same
+	// entry-point surface the CLIs and the stackd service use — and
+	// unwraps the result value so manifests stay byte-identical to the
+	// direct-call era.
 	rs := spec.runSpec()
+	catalogJob := func(name, experiment string, params any) harness.Job {
+		exp := mustExperiment(experiment)
+		return harness.Job{
+			Name: name,
+			Run: func(ctx context.Context) (any, error) {
+				res, err := exp.Run(ctx, ExperimentRequest{Spec: rs, Params: params})
+				if err != nil {
+					return nil, err
+				}
+				return res.Value, nil
+			},
+		}
+	}
 	var jobs []harness.Job
 	for _, b := range benches {
 		for _, o := range MemoryOptions() {
-			b, o := b, o
-			jobs = append(jobs, harness.Job{
-				Name: fmt.Sprintf("fig5/%s/%dMB", b.Name, o.CapacityMB()),
-				Run: func(ctx context.Context) (any, error) {
-					return RunMemoryPerf(ctx, rs, o, b)
-				},
-			})
+			jobs = append(jobs, catalogJob(
+				fmt.Sprintf("fig5/%s/%dMB", b.Name, o.CapacityMB()),
+				"memory-perf",
+				&MemoryPerfParams{CapacityMB: o.CapacityMB(), Benchmark: b.Name}))
 		}
 	}
 	if !spec.SkipThermal {
 		for _, o := range MemoryOptions() {
-			o := o
-			jobs = append(jobs, harness.Job{
-				Name: fmt.Sprintf("fig8/thermal/%dMB", o.CapacityMB()),
-				Run: func(ctx context.Context) (any, error) {
-					return RunMemoryThermal(ctx, rs, o)
-				},
-			})
+			jobs = append(jobs, catalogJob(
+				fmt.Sprintf("fig8/thermal/%dMB", o.CapacityMB()),
+				"memory-thermal",
+				&MemoryThermalParams{CapacityMB: o.CapacityMB()}))
 		}
 		for _, o := range LogicOptions() {
-			o := o
-			jobs = append(jobs, harness.Job{
-				Name: "fig11/logic/" + logicSlug(o),
-				Run: func(ctx context.Context) (any, error) {
-					return RunLogicThermal(ctx, rs, o)
-				},
-			})
+			jobs = append(jobs, catalogJob(
+				"fig11/logic/"+logicSlug(o),
+				"logic-thermal",
+				&LogicThermalParams{Variant: logicSlug(o)}))
 		}
 	}
 	return jobs, nil
@@ -140,9 +153,10 @@ type wireSpec struct {
 	Method string `json:"method,omitempty"`
 }
 
-// EncodeWire serializes the distributable fields of the spec in a
-// canonical form: a coordinator sends these bytes to every worker, and
-// hashes them to fence off workers configured for a different
+// EncodeWire serializes the distributable fields of the spec in
+// canonical form (internal/canon — the same codec stackd hashes its
+// cache keys with): a coordinator sends these bytes to every worker,
+// and hashes them to fence off workers configured for a different
 // campaign. Encoding is deterministic (fixed field order), so equal
 // specs encode to equal bytes.
 func (spec CampaignSpec) EncodeWire() (json.RawMessage, error) {
@@ -160,7 +174,7 @@ func (spec CampaignSpec) EncodeWire() (json.RawMessage, error) {
 	if spec.Method != thermal.MethodLineSOR {
 		w.Method = spec.Method.String()
 	}
-	raw, err := json.Marshal(w)
+	raw, err := canon.Marshal(w)
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding campaign spec: %w", err)
 	}
@@ -172,10 +186,8 @@ func (spec CampaignSpec) EncodeWire() (json.RawMessage, error) {
 // loudly instead of silently running a different campaign. The
 // returned spec carries no Obs registry; the caller attaches its own.
 func DecodeWireSpec(raw json.RawMessage) (CampaignSpec, error) {
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
 	var w wireSpec
-	if err := dec.Decode(&w); err != nil {
+	if err := canon.Unmarshal(raw, &w); err != nil {
 		return CampaignSpec{}, fmt.Errorf("core: decoding campaign spec: %w", err)
 	}
 	m, err := thermal.ParseMethod(w.Method)
@@ -192,6 +204,10 @@ func DecodeWireSpec(raw json.RawMessage) (CampaignSpec, error) {
 		Method:      m,
 	}, nil
 }
+
+// Slug returns the option's job-name/wire spelling (planar, 3d,
+// 3d-worstcase) — the inverse of LogicOptionForSlug.
+func (o LogicOption) Slug() string { return logicSlug(o) }
 
 // logicSlug names a logic option in job-name form.
 func logicSlug(o LogicOption) string {

@@ -220,23 +220,23 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestTable4Totals(t *testing.T) {
-	rows, total, stagesPct, err := RunTable4(context.Background(), 1, 30_000)
+	t4, err := RunTable4(context.Background(), Table4Request{Spec: RunSpec{Seed: 1}, Instructions: 30_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 10 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(t4.Rows) != 10 {
+		t.Fatalf("rows = %d", len(t4.Rows))
 	}
-	if total < 10 || total > 20 {
-		t.Errorf("total gain %.1f%%, paper ~15%%", total)
+	if t4.TotalGainPct < 10 || t4.TotalGainPct > 20 {
+		t.Errorf("total gain %.1f%%, paper ~15%%", t4.TotalGainPct)
 	}
-	if stagesPct < 20 || stagesPct > 30 {
-		t.Errorf("stages eliminated %.1f%%, paper ~25%%", stagesPct)
+	if t4.StagesEliminatedPct < 20 || t4.StagesEliminatedPct > 30 {
+		t.Errorf("stages eliminated %.1f%%, paper ~25%%", t4.StagesEliminatedPct)
 	}
 }
 
 func TestTable5Rows(t *testing.T) {
-	rows, err := RunTable5(context.Background(), testGrid)
+	rows, err := RunTable5(context.Background(), Table5Request{Spec: RunSpec{Grid: testGrid}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,15 +27,31 @@ type MultiDiePoint struct {
 	TotalPowerW float64
 }
 
-// RunMultiDieSweep solves the thermal stack for 2..maxDies dies: the
+// DefaultMaxDies is the ladder height a zero MultiDieRequest sweeps.
+const DefaultMaxDies = 4
+
+// MultiDieRequest parameterizes RunMultiDieSweep. Spec.Grid sizes the
+// thermal solves; Spec.Method and Spec.Parallelism select the solver.
+type MultiDieRequest struct {
+	Spec RunSpec
+	// MaxDies is the tallest stack solved (<= 0 selects DefaultMaxDies;
+	// an explicit value must be >= 2).
+	MaxDies int
+}
+
+// RunMultiDieSweep solves the thermal stack for 2..MaxDies dies: the
 // 92 W CPU plus (n-1) 64 MB DRAM dies at 6.2 W each. It quantifies the
-// thermal price of going beyond the paper's two-die limit. grid <= 0
-// selects the default resolution.
-func RunMultiDieSweep(ctx context.Context, maxDies, grid int) ([]MultiDiePoint, error) {
-	if maxDies < 2 {
-		return nil, fmt.Errorf("core: multi-die sweep needs maxDies >= 2, got %d", maxDies)
+// thermal price of going beyond the paper's two-die limit.
+func RunMultiDieSweep(ctx context.Context, req MultiDieRequest) ([]MultiDiePoint, error) {
+	spec := req.Spec
+	maxDies := req.MaxDies
+	if maxDies <= 0 {
+		maxDies = DefaultMaxDies
 	}
-	nx, ny := gridOrDefault(grid)
+	if maxDies < 2 {
+		return nil, fmt.Errorf("core: multi-die sweep needs MaxDies >= 2, got %d", maxDies)
+	}
+	nx, ny := gridOrDefault(spec.Grid)
 	fp := floorplan.Core2DuoPlanar()
 	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
 	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
@@ -60,7 +76,7 @@ func RunMultiDieSweep(ctx context.Context, maxDies, grid int) ([]MultiDiePoint, 
 		if err != nil {
 			return nil, err
 		}
-		field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{})
+		field, err := solveStack(ctx, spec, fmt.Sprintf("multidie/%dd/g%d", n, nx), stack)
 		if err != nil {
 			return nil, err
 		}
@@ -98,10 +114,16 @@ type AutoFoldComparison struct {
 	PlanarWire float64
 }
 
+// AutoFoldRequest parameterizes RunAutoFold. Spec.Grid sizes the
+// thermal solves; Spec.Method and Spec.Parallelism select the solver.
+type AutoFoldRequest struct {
+	Spec RunSpec
+}
+
 // RunAutoFold folds the planar Pentium 4-class floorplan automatically
-// and compares it with the paper's hand fold. grid <= 0 selects the
-// default resolution.
-func RunAutoFold(ctx context.Context, grid int) (AutoFoldComparison, error) {
+// and compares it with the paper's hand fold.
+func RunAutoFold(ctx context.Context, req AutoFoldRequest) (AutoFoldComparison, error) {
+	spec := req.Spec
 	planar := floorplan.Pentium4Planar()
 	auto, err := floorplan.AutoFold(planar, floorplan.FoldOptions{
 		DensityTarget: 1.35,
@@ -116,15 +138,15 @@ func RunAutoFold(ctx context.Context, grid int) (AutoFoldComparison, error) {
 	}
 
 	var cmp AutoFoldComparison
-	cmp.Hand, err = RunLogicThermal(ctx, RunSpec{Grid: grid}, Logic3D)
+	cmp.Hand, err = RunLogicThermal(ctx, spec, Logic3D)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}
-	field, err := solveLogicStack(ctx, auto, grid, 1, thermal.MethodLineSOR)
+	nx, ny := gridOrDefault(spec.Grid)
+	field, err := solveLogicStack(ctx, spec, fmt.Sprintf("logic/autofold/g%d", nx), auto, 1)
 	if err != nil {
 		return AutoFoldComparison{}, err
 	}
-	nx, ny := gridOrDefault(grid)
 	cmp.Auto = LogicThermal{
 		Option:       Logic3D,
 		PeakC:        field.Peak(),

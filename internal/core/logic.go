@@ -90,9 +90,15 @@ func buildLogicStack(fp *floorplan.Floorplan, grid int, powerScale float64) *the
 
 // solveLogicStack builds and solves the thermal stack for a logic
 // floorplan whose block powers have been scaled by powerScale, on the
-// requested iteration schedule.
-func solveLogicStack(ctx context.Context, fp *floorplan.Floorplan, grid int, powerScale float64, method thermal.Method) (*thermal.Field, error) {
-	return thermal.Solve(ctx, buildLogicStack(fp, grid, powerScale), thermal.SolveOptions{Method: method})
+// spec's solver settings. key follows the solveStack contract.
+func solveLogicStack(ctx context.Context, spec RunSpec, key string, fp *floorplan.Floorplan, powerScale float64) (*thermal.Field, error) {
+	return solveStack(ctx, spec, key, buildLogicStack(fp, spec.Grid, powerScale))
+}
+
+// logicKey names a Figure 11 stack shape for workspace pooling.
+func logicKey(o LogicOption, grid int) string {
+	nx, _ := gridOrDefault(grid)
+	return fmt.Sprintf("logic/%s/g%d", logicSlug(o), nx)
 }
 
 // RunLogicThermal solves one Figure 11 bar. spec.Grid <= 0 selects the
@@ -104,8 +110,7 @@ func RunLogicThermal(ctx context.Context, spec RunSpec, o LogicOption) (LogicThe
 	if err != nil {
 		return LogicThermal{}, err
 	}
-	field, err := thermal.Solve(ctx, buildLogicStack(fp, spec.Grid, 1),
-		thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := solveLogicStack(ctx, spec, logicKey(o, spec.Grid), fp, 1)
 	if err != nil {
 		return LogicThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -132,23 +137,62 @@ func RunFigure11(ctx context.Context, spec RunSpec) ([]LogicThermal, error) {
 	return out, nil
 }
 
+// DefaultTable4Instructions is the per-profile instruction count a
+// zero Table4Request replays — the paper-sweep default.
+const DefaultTable4Instructions = 200_000
+
+// Table4Request parameterizes RunTable4. Spec.Seed seeds the synthetic
+// instruction profiles; the other spec fields are unused.
+type Table4Request struct {
+	Spec RunSpec
+	// Instructions is the per-profile instruction count (<= 0 selects
+	// DefaultTable4Instructions).
+	Instructions int
+}
+
+// Table4Result bundles the Table 4 rows with the fold's aggregate
+// pipeline verdict.
+type Table4Result struct {
+	Rows []synth.Table4Row
+	// TotalGainPct is the combined performance gain of folding every
+	// functionality at once (paper: ~15%).
+	TotalGainPct float64
+	// StagesEliminatedPct is the share of pipeline stages the full fold
+	// removes (paper: ~25%).
+	StagesEliminatedPct float64
+}
+
 // RunTable4 measures the per-functionality pipeline gains of the 3D
-// fold (Table 4). n is the per-profile instruction count.
-func RunTable4(ctx context.Context, seed uint64, n int) (rows []synth.Table4Row, totalGainPct float64, stagesPct float64, err error) {
+// fold (Table 4).
+func RunTable4(ctx context.Context, req Table4Request) (Table4Result, error) {
+	n := req.Instructions
+	if n <= 0 {
+		n = DefaultTable4Instructions
+	}
 	cfg := uarch.PlanarConfig()
-	rows, totalGainPct, err = synth.Table4(ctx, cfg, seed, n)
+	rows, totalGainPct, err := synth.Table4(ctx, cfg, req.Spec.Seed, n)
 	if err != nil {
-		return nil, 0, 0, err
+		return Table4Result{}, err
 	}
 	removed, total := cfg.StagesEliminated(uarch.FullFold())
-	return rows, totalGainPct, float64(removed) / float64(total) * 100, nil
+	return Table4Result{
+		Rows:                rows,
+		TotalGainPct:        totalGainPct,
+		StagesEliminatedPct: float64(removed) / float64(total) * 100,
+	}, nil
+}
+
+// Table5Request parameterizes RunTable5. Spec.Grid sizes the thermal
+// solves (the search solves the stack several times; coarser grids are
+// markedly faster).
+type Table5Request struct {
+	Spec RunSpec
 }
 
 // RunTable5 computes the voltage/frequency scaling rows using the
-// measured 3D thermal response. grid <= 0 selects the default
-// resolution (the search solves the stack several times; coarser grids
-// are markedly faster).
-func RunTable5(ctx context.Context, grid int) ([]power.Point, error) {
+// measured 3D thermal response.
+func RunTable5(ctx context.Context, req Table5Request) ([]power.Point, error) {
+	spec := req.Spec
 	laws := power.PaperLaws()
 	design := power.Pentium4ThreeDDesign()
 
@@ -161,7 +205,7 @@ func RunTable5(ctx context.Context, grid int) ([]power.Point, error) {
 	// stack determines the whole response — the bisection then costs
 	// nothing.
 	base3DPower := threeD.TotalPower()
-	ref, err := solveLogicStack(ctx, threeD, grid, 1, thermal.MethodLineSOR)
+	ref, err := solveLogicStack(ctx, spec, logicKey(Logic3D, spec.Grid), threeD, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -169,18 +213,25 @@ func RunTable5(ctx context.Context, grid int) ([]power.Point, error) {
 	tempAt := func(powerW float64) float64 {
 		return thermal.AmbientC + risePerWatt*powerW
 	}
-	baseline, err := RunLogicThermal(ctx, RunSpec{Grid: grid}, LogicPlanar)
+	baseline, err := RunLogicThermal(ctx, spec, LogicPlanar)
 	if err != nil {
 		return nil, err
 	}
 	return laws.Table5(design, tempAt, baseline.PeakC)
 }
 
+// PowerDerivationRequest parameterizes RunPowerDerivation. The
+// derivation is closed-form over the two floorplans, so the spec is
+// carried only for catalog uniformity.
+type PowerDerivationRequest struct {
+	Spec RunSpec
+}
+
 // RunPowerDerivation derives the Logic+Logic power saving from the
 // two floorplans through the interconnect power model: half the global
 // wire, the removed wire-stage latch banks, and a clock grid over half
 // the footprint — the components the paper lists for its 15% figure.
-func RunPowerDerivation(ctx context.Context) (wire.SavingReport, error) {
+func RunPowerDerivation(ctx context.Context, req PowerDerivationRequest) (wire.SavingReport, error) {
 	nets := append(floorplan.LoadToUseNets(),
 		floorplan.Net{A: "L2", B: "bus", Weight: 4},
 		floorplan.Net{A: "L2", B: "D$", Weight: 4},
@@ -193,6 +244,13 @@ func RunPowerDerivation(ctx context.Context) (wire.SavingReport, error) {
 	return wire.Pentium4PowerModel().DeriveSaving(wire.Pentium4Era(),
 		floorplan.Pentium4Planar(), floorplan.Pentium4ThreeD(),
 		nets, floorplan.Pentium4TotalW)
+}
+
+// WireDerivationRequest parameterizes RunWireDerivation. Like the
+// power derivation, it is closed-form; the spec rides along for
+// catalog uniformity.
+type WireDerivationRequest struct {
+	Spec RunSpec
 }
 
 // WirePath pairs a named signal path with its derived planar/3D wire
@@ -209,7 +267,7 @@ type WirePath struct {
 // Table 4 fold. The load-to-use path loses its planar wire stage and
 // the FP register-read path loses both of its allocated cycles,
 // matching the paper's narrative for Figures 9 and 10.
-func RunWireDerivation(ctx context.Context) ([]WirePath, error) {
+func RunWireDerivation(ctx context.Context, req WireDerivationRequest) ([]WirePath, error) {
 	tech := wire.Pentium4Era()
 	paths := [][2]string{
 		{"D$", "F"}, {"RF", "FP"}, {"RF", "SIMD"},

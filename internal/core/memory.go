@@ -105,6 +105,33 @@ func (o MemoryOption) stackedDie() func(*thermal.PowerMap) thermal.DieSpec {
 	return thermal.DRAMDie
 }
 
+// buildStack assembles (without solving) the option's thermal stack at
+// the given lateral resolution (<= 0 selects the default), returning
+// the floorplan alongside.
+func (o MemoryOption) buildStack(grid int) (*thermal.Stack, *floorplan.Floorplan, error) {
+	fp, err := o.Floorplan()
+	if err != nil {
+		return nil, nil, err
+	}
+	nx, ny := gridOrDefault(grid)
+	opt := thermal.StackOptions{Nx: nx, Ny: ny}
+	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
+	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
+
+	if fp.Dies == 1 {
+		return thermal.PlanarStack(fp.DieW, fp.DieH, cpuMap, opt), fp, nil
+	}
+	memMap := fp.PowerMapCentered(1, nx, ny, pkgW, pkgH)
+	return thermal.ThreeDStack(fp.DieW, fp.DieH,
+		thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt), fp, nil
+}
+
+// stackKey names the option's stack shape for workspace pooling.
+func (o MemoryOption) stackKey(grid int) string {
+	nx, _ := gridOrDefault(grid)
+	return fmt.Sprintf("mem/%dMB/g%d", o.CapacityMB(), nx)
+}
+
 // MemoryPerf is one bar (and bandwidth point) of Figure 5.
 type MemoryPerf struct {
 	Benchmark string
@@ -258,25 +285,11 @@ type MemoryThermal struct {
 // thermal.ErrNotConverged (or thermal.ErrDiverged) wrapped with the
 // option it was solving.
 func RunMemoryThermal(ctx context.Context, spec RunSpec, o MemoryOption) (MemoryThermal, error) {
-	fp, err := o.Floorplan()
+	stack, fp, err := o.buildStack(spec.Grid)
 	if err != nil {
 		return MemoryThermal{}, err
 	}
-	opt := thermal.StackOptions{Nx: spec.Grid, Ny: spec.Grid}
-	nx, ny := gridOrDefault(spec.Grid)
-
-	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
-	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
-
-	var stack *thermal.Stack
-	if fp.Dies == 1 {
-		stack = thermal.PlanarStack(fp.DieW, fp.DieH, cpuMap, opt)
-	} else {
-		memMap := fp.PowerMapCentered(1, nx, ny, pkgW, pkgH)
-		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
-			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
-	}
-	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := solveStack(ctx, spec, o.stackKey(spec.Grid), stack)
 	if err != nil {
 		return MemoryThermal{}, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}
@@ -298,24 +311,11 @@ func RunMemoryThermal(ctx context.Context, spec RunSpec, o MemoryOption) (Memory
 // the 32 MB configuration. spec.Grid <= 0 selects the default
 // resolution; spec.Parallelism is the solver worker count.
 func RunMemoryThermalMap(ctx context.Context, spec RunSpec, o MemoryOption) ([][]float64, error) {
-	fp, err := o.Floorplan()
+	stack, _, err := o.buildStack(spec.Grid)
 	if err != nil {
 		return nil, err
 	}
-	opt := thermal.StackOptions{Nx: spec.Grid, Ny: spec.Grid}
-	nx, ny := gridOrDefault(spec.Grid)
-	pkgW, pkgH := thermal.DefaultPackageW, thermal.DefaultPackageH
-	cpuMap := fp.PowerMapCentered(0, nx, ny, pkgW, pkgH)
-
-	var stack *thermal.Stack
-	if fp.Dies == 1 {
-		stack = thermal.PlanarStack(fp.DieW, fp.DieH, cpuMap, opt)
-	} else {
-		memMap := fp.PowerMapCentered(1, nx, ny, pkgW, pkgH)
-		stack = thermal.ThreeDStack(fp.DieW, fp.DieH,
-			thermal.LogicDie(cpuMap), o.stackedDie()(memMap), opt)
-	}
-	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := solveStack(ctx, spec, o.stackKey(spec.Grid), stack)
 	if err != nil {
 		return nil, fmt.Errorf("core: thermal solve for %s: %w", o, err)
 	}

@@ -62,7 +62,7 @@ func RunManagedLogicThermal(ctx context.Context, spec RunSpec, o LogicOption, cf
 	if err != nil {
 		return out, err
 	}
-	steady, err := solveLogicStack(ctx, fp, spec.Grid, 1, spec.Method)
+	steady, err := solveLogicStack(ctx, spec, logicKey(o, spec.Grid), fp, 1)
 	if err != nil {
 		return out, fmt.Errorf("core: unmanaged solve: %w", err)
 	}

@@ -30,6 +30,18 @@ func (l SweepLayer) String() string {
 	}
 }
 
+// layerSlug names the swept layer in workspace-key form.
+func layerSlug(l SweepLayer) string {
+	switch l {
+	case SweepCuMetal:
+		return "cu-metal"
+	case SweepBond:
+		return "bond"
+	default:
+		return fmt.Sprintf("layer-%d", int(l))
+	}
+}
+
 // SensitivityPoint is one point of a Figure 3 series.
 type SensitivityPoint struct {
 	ConductivityWmK float64
@@ -75,7 +87,7 @@ func RunFigure3(ctx context.Context, spec RunSpec, layer SweepLayer, ks []float6
 		}
 		stack := thermal.ThreeDStack(fp.DieW, fp.DieH,
 			thermal.LogicDie(top), thermal.SRAMDie(bot), opt)
-		field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
+		field, err := solveStack(ctx, spec, fmt.Sprintf("fig3/%s/k%g/g%d", layerSlug(layer), k, nx), stack)
 		if err != nil {
 			return nil, fmt.Errorf("core: thermal solve at %s=%g W/mK: %w", layer, k, err)
 		}
@@ -104,7 +116,7 @@ func Figure6Maps(ctx context.Context, spec RunSpec) (powerDensity [][]float64, t
 	}
 
 	stack := thermal.PlanarStack(fp.DieW, fp.DieH, pm, thermal.StackOptions{Nx: nx, Ny: ny})
-	field, err := thermal.Solve(ctx, stack, thermal.SolveOptions{Method: spec.Method, Parallelism: spec.Parallelism, Obs: spec.Obs})
+	field, err := solveStack(ctx, spec, fmt.Sprintf("fig6/planar/g%d", nx), stack)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: planar thermal solve: %w", err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"diestack/internal/obs"
 	"diestack/internal/thermal"
 )
@@ -30,4 +32,24 @@ type RunSpec struct {
 	// the experiment exercises (memhier_*, dram_*, thermal_*, fault_*).
 	// A nil registry costs nothing on the hot paths.
 	Obs *obs.Registry
+	// Workspaces, when non-nil, pools thermal discretizations across
+	// solves: an experiment that revisits a stack shape reuses the
+	// cached workspace instead of re-rasterizing. Pooled solves are
+	// bit-identical to fresh ones; a nil cache means every solve starts
+	// cold. Like Obs, it is process-local and never travels on the wire.
+	Workspaces *thermal.WorkspaceCache
+}
+
+// solveStack solves s on the spec's solver settings (Method,
+// Parallelism, Obs), routing through the spec's workspace cache when
+// one is attached. key names the stack shape under the WorkspaceCache
+// contract: every stack solved under one key must be built
+// identically, so each call site derives its key from everything that
+// shaped the stack (experiment, configuration, grid).
+func solveStack(ctx context.Context, spec RunSpec, key string, s *thermal.Stack) (*thermal.Field, error) {
+	return spec.Workspaces.Solve(ctx, key, s, thermal.SolveOptions{
+		Method:      spec.Method,
+		Parallelism: spec.Parallelism,
+		Obs:         spec.Obs,
+	})
 }

@@ -16,7 +16,8 @@ import (
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
 	Doc: "exported Run/Solve-family entry points take context.Context first; " +
-		"library code never calls context.Background or context.TODO",
+		"library code never calls context.Background or context.TODO; " +
+		"HTTP handlers thread the request context into Run/Solve calls",
 	Run: runCtxFirst,
 }
 
@@ -31,6 +32,7 @@ func runCtxFirst(pass *Pass) {
 				continue
 			}
 			checkRunFamilySignature(pass, fd)
+			checkHandlerContextFlow(pass, fd)
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -87,6 +89,140 @@ func checkRunFamilySignature(pass *Pass, fd *ast.FuncDecl) {
 	pass.Reportf(fd.Name.Pos(),
 		"exported %s is a Run/Solve-family entry point and must take context.Context as its first parameter",
 		fd.Name.Name)
+}
+
+// checkHandlerContextFlow enforces the request path contract in HTTP
+// handler code: inside any function taking a *net/http.Request, every
+// Run/Solve-family call's context must derive from that request's
+// Context() — a handler that substitutes some other root severs
+// cancellation from client disconnects and server drains.
+func checkHandlerContextFlow(pass *Pass, fd *ast.FuncDecl) {
+	reqObj := httpRequestParam(pass, fd)
+	if reqObj == nil || fd.Body == nil {
+		return
+	}
+	// derived collects variables whose value flows (possibly through
+	// context.WithTimeout and friends) from the request's Context().
+	// Fixpoint over the assignments handles chains in any order.
+	derived := map[types.Object]bool{}
+	fromRequest := func(e ast.Expr) bool {
+		return exprDerivesFromRequest(pass, e, reqObj, derived)
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			src := false
+			for _, rhs := range as.Rhs {
+				if fromRequest(rhs) {
+					src = true
+				}
+			}
+			if !src {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info().Defs[id]
+				if obj == nil {
+					obj = pass.Info().Uses[id]
+				}
+				if obj != nil && isContextType(obj.Type()) && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name := calleeName(call)
+		if !runFamily(name) {
+			return true
+		}
+		first := pass.Info().TypeOf(call.Args[0])
+		if first == nil || !isContextType(first) {
+			return true
+		}
+		if !fromRequest(call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(),
+				"%s in an http.Request handler must receive a context derived from the request's Context",
+				name)
+		}
+		return true
+	})
+}
+
+// httpRequestParam returns the *net/http.Request parameter's object,
+// or nil when fd takes none.
+func httpRequestParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info().TypeOf(field.Type)
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			continue
+		}
+		named := namedOf(t)
+		if named == nil {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() != "Request" || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+			continue
+		}
+		for _, name := range field.Names {
+			if o := pass.Info().Defs[name]; o != nil {
+				return o
+			}
+		}
+	}
+	return nil
+}
+
+// exprDerivesFromRequest reports whether e contains a call to the
+// request parameter's Context method or mentions a variable already
+// known to derive from it.
+func exprDerivesFromRequest(pass *Pass, e ast.Expr, reqObj types.Object, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.Info().Uses[id] == reqObj {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info().Uses[n]; obj != nil && derived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeName extracts the called function or method name, if any.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
 }
 
 // namedOf unwraps pointers to reach a named type, if any.

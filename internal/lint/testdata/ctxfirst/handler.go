@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// stashedCtx stands in for a context smuggled from outside the request
+// path — handlers must not thread it into Run calls.
+var stashedCtx context.Context
+
+// handleDirect passes the request context straight through: compliant.
+func handleDirect(w http.ResponseWriter, r *http.Request) {
+	_ = Run(r.Context(), 1)
+}
+
+// handleDerived wraps the request context before use: compliant, and
+// the chain through two assignments must be followed.
+func handleDerived(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	inner := ctx
+	_ = SolveTransient(inner)
+}
+
+// handleStashed substitutes a foreign context: violation.
+func handleStashed(w http.ResponseWriter, r *http.Request) {
+	_ = Run(stashedCtx, 1) // want "Run in an http.Request handler must receive a context derived from the request's Context"
+}
+
+// handleWrapped launders a foreign context through a local variable:
+// still a violation — the chain never reaches r.Context().
+func handleWrapped(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(stashedCtx, time.Second)
+	defer cancel()
+	_ = SolveTransient(ctx) // want "SolveTransient in an http.Request handler must receive a context derived from the request's Context"
+}
+
+// handleNoRun touches no Run-family call; the rule stays quiet.
+func handleNoRun(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -3,8 +3,9 @@
 // summary, and the required metric families must all be present. The
 // default families cover a supervised campaign (memhier, thermal, dtm,
 // fault, harness); distributed runs pass -families to require the
-// dist/chaos counters instead. verify.sh runs it against the campaign
-// smoke outputs.
+// dist/chaos counters instead, and repeated -min name=value flags pin
+// floors on individual final counters (e.g. -min stackd_cache_hits=1).
+// verify.sh runs it against the campaign and stackd smoke outputs.
 package main
 
 import (
@@ -13,16 +14,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"diestack/internal/obs"
 )
 
+// minFlag accumulates repeated -min name=value counter floors.
+type minFlag struct {
+	names  []string
+	floors map[string]uint64
+}
+
+func (m *minFlag) String() string { return strings.Join(m.names, ",") }
+
+func (m *minFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %w", s, err)
+	}
+	if m.floors == nil {
+		m.floors = map[string]uint64{}
+	}
+	if _, dup := m.floors[name]; !dup {
+		m.names = append(m.names, name)
+	}
+	m.floors[name] = v
+	return nil
+}
+
 func main() {
 	families := flag.String("families", "memhier,thermal,dtm,fault,harness",
 		"comma-separated metric-name prefixes the final snapshot must contain")
+	var mins minFlag
+	flag.Var(&mins, "min",
+		"counter floor on the final snapshot as name=value (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: checksnap [-families a,b,...] <metrics.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: checksnap [-families a,b,...] [-min name=value]... <metrics.jsonl>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +96,12 @@ func main() {
 		}
 		if !hasFamily(last, fam) {
 			fatal(fmt.Errorf("final snapshot has no %s_* metrics", fam))
+		}
+	}
+	for _, name := range mins.names {
+		floor := mins.floors[name]
+		if got := last.Counters[name]; got < floor {
+			fatal(fmt.Errorf("final counter %s = %d, want >= %d", name, got, floor))
 		}
 	}
 	fmt.Printf("checksnap: %d snapshot(s), %d counters, %d gauges, %d span kinds\n",

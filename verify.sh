@@ -95,6 +95,43 @@ echo "== chaos soak =="
 # sweep above stays fault-free; hard -timeout bounds a hung soak.
 go test -race -count=1 -tags soak -run TestChaosSoak -timeout 240s ./internal/dist/
 
+echo "== stackd service smoke =="
+# The experiment service end to end: POST the same spec twice (the
+# second must be served from the result cache) and a concurrent
+# identical cold pair (singleflight must merge the twin into the
+# leader's solve), then drain with SIGTERM. The final metrics snapshot
+# must carry the stackd_* family with the hit and merge counters
+# proving both paths fired.
+go build -o "$tmpdir/stackd" ./cmd/stackd
+sport=$((21000 + $$ % 20000))
+"$tmpdir/stackd" -addr "127.0.0.1:$sport" \
+    -metrics-out "$tmpdir/stackd-metrics.jsonl" 2>"$tmpdir/stackd.log" &
+stackd=$!
+trap 'kill "$stackd" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$sport/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf -X POST "http://127.0.0.1:$sport/v1/experiments/memory-thermal" \
+    -d '{"spec":{"grid":16},"params":{"capacity_mb":32}}' >"$tmpdir/stackd-a.json"
+curl -sf -X POST "http://127.0.0.1:$sport/v1/experiments/memory-thermal" \
+    -d '{"spec":{"grid":16},"params":{"capacity_mb":32}}' >"$tmpdir/stackd-b.json"
+cmp "$tmpdir/stackd-a.json" "$tmpdir/stackd-b.json"
+curl -sf -X POST "http://127.0.0.1:$sport/v1/experiments/fig6" \
+    -d '{"spec":{"grid":48}}' >"$tmpdir/stackd-c.json" &
+pair1=$!
+curl -sf -X POST "http://127.0.0.1:$sport/v1/experiments/fig6" \
+    -d '{"spec":{"grid":48}}' >"$tmpdir/stackd-d.json" &
+pair2=$!
+wait "$pair1"
+wait "$pair2"
+cmp "$tmpdir/stackd-c.json" "$tmpdir/stackd-d.json"
+kill -TERM "$stackd"
+wait "$stackd"
+go run ./internal/obs/cmd/checksnap -families stackd \
+    -min stackd_cache_hits=1 -min stackd_inflight_merged=1 \
+    "$tmpdir/stackd-metrics.jsonl"
+
 echo "== checkpoint/resume smoke =="
 go run ./cmd/stackmem -checkpoint "$tmpdir/run.ckpt" -checkpoint-every 20000 \
     -bench gauss -scale 0.1 -capacity 32 >"$tmpdir/full.out"
