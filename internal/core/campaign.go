@@ -139,6 +139,7 @@ func CampaignJobs(spec CampaignSpec) ([]harness.Job, error) {
 // the fields that determine the job list and every job's result. Obs
 // is process-local and deliberately absent — each side of a
 // distributed campaign instruments with its own registry.
+//canon:wire
 type wireSpec struct {
 	Seed        uint64   `json:"seed"`
 	Scale       float64  `json:"scale"`

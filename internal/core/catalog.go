@@ -129,6 +129,7 @@ func (e Experiment) ParamsSchema() map[string]string {
 // fields that determine an experiment's result. Obs and Workspaces are
 // process-local and deliberately absent. Every field omits its
 // default, so a zero spec is the empty object.
+//canon:wire
 type specWire struct {
 	Seed        uint64  `json:"seed,omitempty"`
 	Scale       float64 `json:"scale,omitempty"`
@@ -168,6 +169,7 @@ func specFromWire(w specWire) (RunSpec, error) {
 
 // requestWire is the canonical body of an experiment invocation — what
 // stackd hashes into its cache key.
+//canon:wire
 type requestWire struct {
 	Experiment string          `json:"experiment"`
 	Spec       specWire        `json:"spec"`
@@ -286,6 +288,7 @@ func sweepLayerForSlug(s string) (SweepLayer, error) {
 // FaultParams is the wire form of fault.Config: stacked-DRAM error
 // rates, dead banks, via-lane loss, and sensor faults. The zero value
 // injects nothing.
+//canon:wire
 type FaultParams struct {
 	Seed              uint64  `json:"seed,omitempty"`
 	CorrectablePerM   float64 `json:"correctable_per_m,omitempty"`
@@ -316,6 +319,7 @@ func (p *FaultParams) config() fault.Config {
 }
 
 // MemoryPerfParams selects one cell of the Figure 5 sweep.
+//canon:wire
 type MemoryPerfParams struct {
 	// CapacityMB picks the configuration (4, 12, 32, 64; 0 = 4).
 	CapacityMB int `json:"capacity_mb,omitempty"`
@@ -326,24 +330,28 @@ type MemoryPerfParams struct {
 }
 
 // MemoryThermalParams selects one Figure 8 stack.
+//canon:wire
 type MemoryThermalParams struct {
 	// CapacityMB picks the configuration (4, 12, 32, 64; 0 = 4).
 	CapacityMB int `json:"capacity_mb,omitempty"`
 }
 
 // LogicThermalParams selects one Figure 11 bar.
+//canon:wire
 type LogicThermalParams struct {
 	// Variant is planar, 3d, or 3d-worstcase ("" = planar).
 	Variant string `json:"variant,omitempty"`
 }
 
 // Table4Params sizes the pipeline-gain measurement.
+//canon:wire
 type Table4Params struct {
 	// Instructions per workload profile (0 = DefaultTable4Instructions).
 	Instructions int `json:"instructions,omitempty"`
 }
 
 // Fig3Params selects the sensitivity sweep's layer and points.
+//canon:wire
 type Fig3Params struct {
 	// Layer is cu-metal or bond ("" = cu-metal).
 	Layer string `json:"layer,omitempty"`
@@ -353,6 +361,7 @@ type Fig3Params struct {
 }
 
 // MultiDieParams sizes the tall-stack sweep.
+//canon:wire
 type MultiDieParams struct {
 	// MaxDies is the tallest stack solved (0 = DefaultMaxDies).
 	MaxDies int `json:"max_dies,omitempty"`
@@ -367,6 +376,7 @@ const (
 )
 
 // ManagedThermalParams configures the closed-loop DTM run.
+//canon:wire
 type ManagedThermalParams struct {
 	// Variant is planar, 3d, or 3d-worstcase ("" = planar).
 	Variant string `json:"variant,omitempty"`
@@ -386,6 +396,7 @@ type ManagedThermalParams struct {
 
 // CampaignParams configures the full paper sweep (see CampaignSpec for
 // the semantics; Seed/Scale/Grid come from the request spec).
+//canon:wire
 type CampaignParams struct {
 	Benchmarks  []string `json:"benchmarks,omitempty"`
 	SkipThermal bool     `json:"skip_thermal,omitempty"`

@@ -189,7 +189,12 @@ func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*harness.Manife
 
 	expiryStop := make(chan struct{})
 	go c.expireLoop(expiryStop)
+	// The accept loop is wg-tracked like every serve goroutine: it
+	// exits when ln.Close() below fails the Accept, which happens
+	// before either wg.Wait, so the Wait also joins the loop itself.
+	c.wg.Add(1)
 	go func() {
+		defer c.wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {

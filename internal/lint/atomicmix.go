@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix bans mixing atomic and plain access to one struct field.
+// A field is "atomic" when its declared type is a sync/atomic value
+// type (atomic.Uint64 and friends), or when its address is passed to
+// a sync/atomic function anywhere in the package (the legacy
+// atomic.AddInt64(&s.n, 1) style). Once a field is atomic, a plain
+// read, write, or value copy elsewhere tears the protocol: the racing
+// access is invisible to the race detector until the schedule lines
+// up, and torn reads silently corrupt counters.
+//
+// Legal uses of an atomic field are calling its methods, indexing
+// into a slice/array of atomics, and taking its address — for legacy
+// fields only into a sync/atomic call; an escaping &s.n is flagged
+// because the far end can do anything with it.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a struct field accessed via sync/atomic anywhere must never " +
+		"be read or written plainly elsewhere",
+	Run: runAtomicMix,
+}
+
+// atomicFieldKind distinguishes the two ways a field becomes atomic.
+type atomicFieldKind int
+
+const (
+	atomicTyped  atomicFieldKind = iota // declared as a sync/atomic type
+	atomicLegacy                        // address passed to a sync/atomic function
+)
+
+func runAtomicMix(pass *Pass) {
+	fields := collectAtomicFields(pass)
+	if len(fields) == 0 {
+		return
+	}
+	for _, file := range pass.Files() {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.Info().Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			kind, isAtomic := fields[selection.Obj()]
+			if !isAtomic {
+				return true
+			}
+			checkAtomicUse(pass, sel, kind, parents)
+			return true
+		})
+	}
+}
+
+// collectAtomicFields gathers every struct field in the package that
+// participates in the atomic protocol.
+func collectAtomicFields(pass *Pass) map[types.Object]atomicFieldKind {
+	fields := map[types.Object]atomicFieldKind{}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, f := range n.Fields.List {
+					for _, name := range f.Names {
+						obj := pass.Info().Defs[name]
+						if obj != nil && isAtomicValueType(obj.Type()) {
+							fields[obj] = atomicTyped
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if !isSyncAtomicCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if sel, ok := un.X.(*ast.SelectorExpr); ok {
+						if s, ok := pass.Info().Selections[sel]; ok && s.Kind() == types.FieldVal {
+							if _, typed := fields[s.Obj()]; !typed {
+								fields[s.Obj()] = atomicLegacy
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// checkAtomicUse classifies one appearance of an atomic field and
+// reports tearing accesses.
+func checkAtomicUse(pass *Pass, sel *ast.SelectorExpr, kind atomicFieldKind, parents map[ast.Node]ast.Node) {
+	name := sel.Sel.Name
+	parent := skipParens(parents, parents[sel])
+	// Unwrap indexing into a slice/array of atomics: the interesting
+	// context is what happens to the element.
+	for {
+		if idx, ok := parent.(*ast.IndexExpr); ok {
+			parent = skipParens(parents, parents[idx])
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.f.Load(), s.f.Add(1): method access is the protocol.
+		return
+	case *ast.UnaryExpr:
+		if p.Op != token.AND {
+			break
+		}
+		if kind == atomicTyped {
+			return // sharing a *atomic.T is safe; all access stays atomic
+		}
+		// Legacy field: the address must feed a sync/atomic call.
+		if call, ok := skipParens(parents, parents[p]).(*ast.CallExpr); ok && isSyncAtomicCall(pass, call) {
+			return
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"address of field %s escapes sync/atomic; every access must go through sync/atomic", name)
+		return
+	case *ast.RangeStmt:
+		if kind == atomicTyped && p.X == sel {
+			return // ranging over a slice of atomics to reach methods
+		}
+	case *ast.CallExpr:
+		// len/cap of a slice of atomics reads only the header.
+		if id, ok := p.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			if _, isBuiltin := pass.Info().Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field %s is accessed via sync/atomic elsewhere; this plain access tears the atomic protocol — use the atomic API", name)
+}
+
+// isAtomicValueType reports whether t is a sync/atomic value type, or
+// a slice/array of one.
+func isAtomicValueType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Slice:
+		return isAtomicValueType(u.Elem())
+	case *types.Array:
+		return isAtomicValueType(u.Elem())
+	}
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic
+// package-level function.
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info().Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// skipParens unwraps parenthesized parents.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for {
+		pe, ok := n.(*ast.ParenExpr)
+		if !ok {
+			return n
+		}
+		n = parents[pe]
+	}
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses body as the contents of a function and lowers it.
+// The fixed signature gives the snippets variables to use; the builder
+// is purely syntactic, so the snippets need only parse.
+func buildTestCFG(t *testing.T, body string) *cfg {
+	t.Helper()
+	src := "package p\nfunc f(a, b int, ch chan int, xs []int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v", err)
+	}
+	return buildCFG(file.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// TestBuildCFG pins the block/edge structure the builder produces for
+// each control-flow construct. Block 0 is entry, block 1 exit; the
+// expected string is dump()'s sorted successor list per block.
+func TestBuildCFG(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{
+			name: "if-else",
+			body: `
+if a > 0 {
+	a = 1
+} else {
+	a = 2
+}
+a = 3`,
+			want: "0: 3 4\n1:\n2: 1\n3: 2\n4: 2\n",
+		},
+		{
+			name: "if-then-return",
+			body: `
+if a > 0 {
+	return
+}
+a = 1`,
+			want: "0: 2 3\n1:\n2: 1\n3: 1\n",
+		},
+		{
+			name: "for",
+			body: `
+for i := 0; i < a; i++ {
+	b = i
+}
+b = 0`,
+			want: "0: 2\n1:\n2: 3 4\n3: 5\n4: 1\n5: 2\n",
+		},
+		{
+			name: "for-infinite-break",
+			body: `
+for {
+	if a > 0 {
+		break
+	}
+}
+b = 0`,
+			// The condition-less loop reaches after (4) only through the
+			// break edge 7 -> 4; the head has no exit edge of its own.
+			want: "0: 2\n1:\n2: 3\n3: 6 7\n4: 1\n5: 2\n6: 5\n7: 4\n",
+		},
+		{
+			name: "range-continue",
+			body: `
+for _, x := range xs {
+	if x > 0 {
+		continue
+	}
+	b = x
+}`,
+			// continue (6) and the body's fallen-off end (5) both loop
+			// back to the range head (2).
+			want: "0: 2\n1:\n2: 3 4\n3: 5 6\n4: 1\n5: 2\n6: 2\n",
+		},
+		{
+			name: "switch-fallthrough",
+			body: `
+switch a {
+case 1:
+	b = 1
+	fallthrough
+case 2:
+	b = 2
+default:
+	b = 3
+}
+b = 0`,
+			// A default clause removes the tag-to-after edge; the
+			// fallthrough edge 3 -> 4 targets the next case body, not after.
+			want: "0: 3 4 5\n1:\n2: 1\n3: 4\n4: 2\n5: 2\n",
+		},
+		{
+			name: "typeswitch-no-default",
+			body: `
+switch any(a).(type) {
+case int:
+	b = 1
+case string:
+	b = 2
+}
+b = 0`,
+			// Without a default the tag block keeps its edge to after (2).
+			want: "0: 2 3 4\n1:\n2: 1\n3: 2\n4: 2\n",
+		},
+		{
+			name: "select",
+			body: `
+select {
+case v := <-ch:
+	b = v
+case ch <- a:
+	b = 1
+}
+b = 0`,
+			// The select is one node in block 0; each clause body is a
+			// successor block.
+			want: "0: 3 4\n1:\n2: 1\n3: 2\n4: 2\n",
+		},
+		{
+			name: "select-empty-blocks-forever",
+			body: `
+select {}
+b = 0`,
+			// select{} never proceeds: the trailing statement becomes a
+			// pred-less dead block.
+			want: "0:\n1:\n2: 1\n",
+		},
+		{
+			name: "labeled-break",
+			body: `
+outer:
+for i := 0; i < a; i++ {
+	for j := 0; j < b; j++ {
+		if j > i {
+			break outer
+		}
+	}
+}
+b = 0`,
+			// break outer (12) jumps straight to the outer loop's after
+			// block (5), skipping both post blocks.
+			want: "0: 2\n1:\n2: 3\n3: 4 5\n4: 7\n5: 1\n6: 3\n7: 8 9\n8: 11 12\n9: 6\n10: 7\n11: 10\n12: 5\n",
+		},
+		{
+			name: "labeled-continue",
+			body: `
+outer:
+for i := 0; i < a; i++ {
+	for j := 0; j < b; j++ {
+		continue outer
+	}
+}`,
+			// continue outer (8) targets the outer post block (6), not the
+			// inner loop's.
+			want: "0: 2\n1:\n2: 3\n3: 4 5\n4: 7\n5: 1\n6: 3\n7: 8 9\n8: 6\n9: 6\n10: 7\n",
+		},
+		{
+			name: "goto-forward",
+			body: `
+if a > 0 {
+	goto done
+}
+b = 1
+done:
+b = 2`,
+			// The goto edge 3 -> 4 is resolved after the walk against the
+			// label's block.
+			want: "0: 2 3\n1:\n2: 4\n3: 4\n4: 1\n",
+		},
+		{
+			name: "defer-recover-panic",
+			body: `
+defer func() {
+	recover()
+}()
+if a > 0 {
+	panic("boom")
+}
+b = 1`,
+			// panic terminates flow: block 3 edges to exit, and the defer
+			// stays a single whole node in the entry block.
+			want: "0: 2 3\n1:\n2: 1\n3: 1\n",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := buildTestCFG(t, c.body)
+			if got := g.dump(); got != c.want {
+				t.Errorf("cfg mismatch\ngot:\n%swant:\n%s", got, c.want)
+			}
+			checkEdgeConsistency(t, g)
+			if g.entry != g.blocks[0] || g.exit != g.blocks[1] {
+				t.Errorf("entry/exit not at blocks[0]/blocks[1]")
+			}
+		})
+	}
+}
+
+// checkEdgeConsistency asserts succs and preds mirror each other
+// exactly: every successor edge has a matching predecessor edge and
+// vice versa, with no duplicates.
+func checkEdgeConsistency(t *testing.T, g *cfg) {
+	t.Helper()
+	count := func(list []*cfgBlock, b *cfgBlock) int {
+		n := 0
+		for _, x := range list {
+			if x == b {
+				n++
+			}
+		}
+		return n
+	}
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			if count(blk.succs, s) != 1 {
+				t.Errorf("block %d has duplicate successor %d", blk.index, s.index)
+			}
+			if count(s.preds, blk) != 1 {
+				t.Errorf("edge %d -> %d missing from %d's preds", blk.index, s.index, s.index)
+			}
+		}
+		for _, p := range blk.preds {
+			if count(p.succs, blk) != 1 {
+				t.Errorf("pred edge %d -> %d missing from %d's succs", p.index, blk.index, p.index)
+			}
+		}
+	}
+}
+
+// TestBuildCFGDeferStaysWhole pins the analyzer contract that defer
+// and go statements appear as single whole nodes.
+func TestBuildCFGDeferStaysWhole(t *testing.T) {
+	g := buildTestCFG(t, `
+defer func() { b = 1 }()
+go func() { b = 2 }()
+a = 3`)
+	var defers, gos int
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			switch n.(type) {
+			case *ast.DeferStmt:
+				defers++
+			case *ast.GoStmt:
+				gos++
+			}
+		}
+	}
+	if defers != 1 || gos != 1 {
+		t.Errorf("defer/go not kept whole: %d defer nodes, %d go nodes", defers, gos)
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import "go/ast"
+
+// flowOps defines one forward dataflow analysis over a cfg. The state
+// type S is the lattice element; the four operations make the engine
+// generic over it:
+//
+//   - Clone copies a state so Transfer and Join may mutate freely.
+//   - Join combines the state flowing in along two edges. A may-
+//     analysis unions (the fact holds on some path), a must-analysis
+//     intersects (the fact holds on every path). Join may mutate and
+//     return its first argument, which is always a fresh clone.
+//   - Equal detects the fixpoint.
+//   - Transfer applies one block node to a state, mutating and
+//     returning it. Because the engine iterates to a fixpoint,
+//     Transfer runs an unbounded number of times per node: analyzers
+//     must accumulate diagnostics in a deduplicating set, not report
+//     directly.
+type flowOps[S any] struct {
+	Clone    func(S) S
+	Join     func(S, S) S
+	Equal    func(S, S) bool
+	Transfer func(S, ast.Node) S
+}
+
+// forwardFlow runs the analysis to fixpoint and returns each block's
+// input state indexed by block index, plus a mask of the blocks
+// reachable from the entry. States of unreachable blocks are the zero
+// S and must be ignored. Termination follows from the usual argument:
+// Join only moves states up a finite lattice and Equal stops the
+// iteration once nothing moves.
+func forwardFlow[S any](g *cfg, entry S, ops flowOps[S]) (in []S, reached []bool) {
+	n := len(g.blocks)
+	in = make([]S, n)
+	reached = make([]bool, n)
+	queued := make([]bool, n)
+
+	in[g.entry.index] = entry
+	reached[g.entry.index] = true
+	work := []*cfgBlock{g.entry}
+	queued[g.entry.index] = true
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.index] = false
+
+		out := ops.Clone(in[blk.index])
+		for _, node := range blk.nodes {
+			out = ops.Transfer(out, node)
+		}
+		for _, succ := range blk.succs {
+			var next S
+			if !reached[succ.index] {
+				next = ops.Clone(out)
+			} else {
+				next = ops.Join(ops.Clone(in[succ.index]), out)
+			}
+			if !reached[succ.index] || !ops.Equal(next, in[succ.index]) {
+				in[succ.index] = next
+				reached[succ.index] = true
+				if !queued[succ.index] {
+					work = append(work, succ)
+					queued[succ.index] = true
+				}
+			}
+		}
+	}
+	return in, reached
+}

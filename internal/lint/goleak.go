@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every goroutine launched in library code to be
+// joinable — something must be able to stop it or wait for it:
+//
+//   - the body selects, receives from a channel, or ranges over one
+//     (it can be told to stop via a done channel or context);
+//   - the body references a context.Context (cancellation reaches it);
+//   - the body calls WaitGroup.Done (a Wait joins it);
+//   - the body closes or sends on a channel (a receiver joins it).
+//
+// For `go x.method()` and `go fn()` the callee's body is resolved
+// within the same package and checked by the same rules. As a last
+// resort, a WaitGroup.Add call textually before the launch in the
+// same enclosing function counts — the Done is then inside a callee
+// this analyzer cannot see. Package main is exempt: binaries may
+// legitimately fire goroutines that live for the whole process.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "library goroutines must be joinable: select on a done " +
+		"channel/context, pair with a WaitGroup, or signal a join channel",
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if pass.Types().Name() == "main" {
+		return
+	}
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files() {
+		var funcs []ast.Node // innermost-last stack of enclosing function bodies
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case nil:
+				return true
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+				// Pop after the subtree: ast.Inspect signals subtree end
+				// with nil, but we cannot tell whose; rebuild instead.
+				return true
+			case *ast.GoStmt:
+				if !joinableGo(pass, n, enclosingBody(funcs, n), decls) {
+					pass.Reportf(n.Pos(),
+						"goroutine is not joinable: select on a context/done channel, pair it with a WaitGroup, or signal a join channel")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// enclosingBody returns the body of the innermost function node whose
+// extent contains pos's node n.
+func enclosingBody(funcs []ast.Node, n *ast.GoStmt) *ast.BlockStmt {
+	for i := len(funcs) - 1; i >= 0; i-- {
+		switch f := funcs[i].(type) {
+		case *ast.FuncDecl:
+			if f.Body != nil && f.Body.Pos() <= n.Pos() && n.End() <= f.Body.End() {
+				return f.Body
+			}
+		case *ast.FuncLit:
+			if f.Body.Pos() <= n.Pos() && n.End() <= f.Body.End() {
+				return f.Body
+			}
+		}
+	}
+	return nil
+}
+
+// packageFuncDecls maps each function object to its declaration so
+// `go c.serve(conn)` can be checked against serve's body.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info().Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// joinableGo decides whether one go statement launches a joinable
+// goroutine.
+func joinableGo(pass *Pass, g *ast.GoStmt, encl *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl) bool {
+	body := goBody(pass, g, decls)
+	if body != nil && bodyJoinable(pass, body) {
+		return true
+	}
+	// Fallback: a WaitGroup.Add before the launch in the same function
+	// pairs the goroutine with a Wait even when the Done is out of
+	// sight (inside an unresolvable callee).
+	return encl != nil && waitGroupAddBefore(pass, encl, g.Pos())
+}
+
+// goBody resolves the launched function's body: a literal directly,
+// or a same-package declaration for `go fn()` / `go x.method()`.
+func goBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.Info().Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.Info().Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// bodyJoinable scans one goroutine body (not descending into nested
+// literals, which run on their own schedule) for joinability
+// evidence.
+func bodyJoinable(pass *Pass, body *ast.BlockStmt) bool {
+	joinable := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joinable {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			joinable = true
+		case *ast.SendStmt:
+			joinable = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joinable = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info().TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joinable = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(pass, n) || isWaitGroupMethod(pass, n, "Done") {
+				joinable = true
+			}
+		case *ast.Ident:
+			if obj := pass.Info().Uses[n]; obj != nil && isContextType(obj.Type()) {
+				joinable = true
+			}
+		}
+		return !joinable
+	})
+	return joinable
+}
+
+// waitGroupAddBefore reports whether body calls WaitGroup.Add at a
+// position before launch.
+func waitGroupAddBefore(pass *Pass, body *ast.BlockStmt, launch token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < launch && isWaitGroupMethod(pass, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on
+// a sync.WaitGroup.
+func isWaitGroupMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, _ := pass.Info().Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isBuiltinClose reports whether call is the close builtin.
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := pass.Info().Uses[id].(*types.Builtin)
+	return isBuiltin
+}

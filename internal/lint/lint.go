@@ -5,6 +5,14 @@
 // paths, method-only observability access, no resurrection of
 // deprecated entry points — into machine-checked invariants.
 //
+// A statement-level control-flow-graph builder (cfg.go) and a generic
+// forward-dataflow solver (dataflow.go) underpin the concurrency
+// analyzers: locksafe (every Lock reaches an Unlock on all paths and
+// nothing blocking runs while a lock is held), goleak (library
+// goroutines must be joinable), atomicmix (no mixing atomic and plain
+// access to one field), and wirestable (canon-encoded structs are
+// registered //canon:wire and stay wire-stable).
+//
 // The framework deliberately mirrors the shape of
 // golang.org/x/tools/go/analysis without depending on it: an Analyzer
 // is a named Run function over a type-checked package, diagnostics
@@ -19,7 +27,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one finding, positioned in the source tree.
@@ -88,24 +99,92 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
 		CtxFirst,
 		DeprecatedCall,
 		Determinism,
+		GoLeak,
 		HotPathAlloc,
+		LockSafe,
 		ObsAccess,
+		WireStable,
 	}
 }
 
+// AnalyzeOptions tunes one Analyze run.
+type AnalyzeOptions struct {
+	// Workers bounds the package-level analysis pool; <= 0 selects
+	// GOMAXPROCS. Output is byte-identical at any worker count.
+	Workers int
+	// Timing, when true, makes AnalyzeWith return per-analyzer wall
+	// time summed across packages.
+	Timing bool
+}
+
 // Analyze applies every analyzer to every package and returns the
-// findings sorted by position then analyzer name, so output is stable
-// across runs and machines.
+// findings sorted by position, analyzer, then message, so output is
+// stable across runs, machines, and worker counts.
 func Analyze(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := AnalyzeWith(prog, analyzers, AnalyzeOptions{})
+	return diags
+}
+
+// AnalyzeWith is Analyze with an explicit worker bound and optional
+// per-analyzer timing. Analyzers are pure per package, so packages
+// fan out over a bounded pool; each package appends into its own
+// slot, and the slots concatenate in package order before the final
+// total-order sort — the parallel schedule cannot leak into the
+// output bytes.
+func AnalyzeWith(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagnostic, map[string]time.Duration) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(prog.Packages) {
+		workers = len(prog.Packages)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	perPkg := make([][]Diagnostic, len(prog.Packages))
+	var timingMu sync.Mutex
+	var timings map[string]time.Duration
+	if opts.Timing {
+		timings = make(map[string]time.Duration, len(analyzers))
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pkg := prog.Packages[i]
+				for _, a := range analyzers {
+					pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &perPkg[i]}
+					start := time.Now()
+					a.Run(pass)
+					if opts.Timing {
+						elapsed := time.Since(start)
+						timingMu.Lock()
+						timings[a.Name] += elapsed
+						timingMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for i := range prog.Packages {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
 	var diags []Diagnostic
-	for _, pkg := range prog.Packages {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
-			a.Run(pass)
-		}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -118,7 +197,10 @@ func Analyze(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	return diags, timings
 }

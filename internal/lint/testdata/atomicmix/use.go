@@ -1,0 +1,77 @@
+// Package fix exercises the atomicmix analyzer: a field accessed via
+// sync/atomic anywhere must never be touched plainly elsewhere.
+package fix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Uint64 // typed atomic: methods only
+	total int64         // legacy atomic: &c.total feeds sync/atomic in bump
+	plain int           // never atomic: plain access is fine
+}
+
+// bump goes through the atomic API for both fields.
+func (c *counters) bump() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// load is the legacy atomic read.
+func (c *counters) load() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+// read tears the legacy field with a plain read.
+func (c *counters) read() int64 {
+	return c.total // want "tears the atomic protocol"
+}
+
+// set tears the legacy field with a plain write.
+func (c *counters) set(v int64) {
+	c.total = v // want "tears the atomic protocol"
+}
+
+// escape leaks the legacy field's address outside sync/atomic.
+func (c *counters) escape() *int64 {
+	return &c.total // want "escapes sync/atomic"
+}
+
+// snapshot copies the typed atomic plainly.
+func (c *counters) snapshot() atomic.Uint64 {
+	return c.hits // want "tears the atomic protocol"
+}
+
+// share hands out a pointer to the typed atomic: every access through
+// it still goes via the methods, so this is legal.
+func (c *counters) share() *atomic.Uint64 {
+	return &c.hits
+}
+
+// bumpPlain touches the never-atomic field plainly.
+func (c *counters) bumpPlain() int {
+	c.plain++
+	return c.plain
+}
+
+type histo struct {
+	buckets []atomic.Uint64
+}
+
+// observe indexes into the slice of atomics to reach a method.
+func (h *histo) observe(i int) {
+	h.buckets[i].Add(1)
+}
+
+// count reads only the slice header.
+func (h *histo) count() int {
+	return len(h.buckets)
+}
+
+// sum ranges over the slice to reach methods.
+func (h *histo) sum() uint64 {
+	var s uint64
+	for i := range h.buckets {
+		s += h.buckets[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+// Package fix exercises the goleak analyzer: library goroutines must
+// be joinable — stoppable via a channel or context, or waited on.
+package fix
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	out  chan int
+}
+
+// leakFireAndForget launches a goroutine nothing can stop or join.
+func (p *pool) leakFireAndForget() {
+	go func() { // want "goroutine is not joinable"
+		p.out = nil
+	}()
+}
+
+// wgOK pairs the goroutine with the WaitGroup.
+func (p *pool) wgOK() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+// selectOK selects on the quit channel.
+func (p *pool) selectOK() {
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case p.out <- 1:
+			}
+		}
+	}()
+}
+
+// ctxOK receives cancellation through a context.
+func (p *pool) ctxOK(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// joinChanOK signals completion by closing a channel.
+func (p *pool) joinChanOK() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+// run ranges over the quit channel, so launches of it are joinable.
+func (p *pool) run() {
+	for range p.quit {
+	}
+}
+
+// methodOK launches a same-package method whose body receives.
+func (p *pool) methodOK() {
+	go p.run()
+}
+
+// drain never checks any stop signal.
+func (p *pool) drain() {
+	for {
+		p.out = nil
+	}
+}
+
+// methodLeak launches a method with no join evidence in its body.
+func (p *pool) methodLeak() {
+	go p.drain() // want "goroutine is not joinable"
+}
+
+// addBeforeOK pairs an out-of-sight Done with an Add before launch.
+func (p *pool) addBeforeOK(work func()) {
+	p.wg.Add(1)
+	go work()
+}
+
+// externalLeak launches an unresolvable callee with no Add in sight.
+func externalLeak(work func()) {
+	go work() // want "goroutine is not joinable"
+}

@@ -1,0 +1,163 @@
+// Package fix exercises the locksafe analyzer: every mutex Lock must
+// reach an Unlock on all paths, and nothing blocking may run while a
+// lock is held.
+package fix
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	wg  sync.WaitGroup
+	ch  chan int
+	val int
+}
+
+// leakEarlyReturn forgets the unlock on the error path.
+func (s *server) leakEarlyReturn(fail bool) int {
+	s.mu.Lock() // want "is not released on every path"
+	if fail {
+		return -1
+	}
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+// deferOK releases on every path, including panics.
+func (s *server) deferOK() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+// branchOK unlocks explicitly on both paths.
+func (s *server) branchOK(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return -1
+	}
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+// closureDeferOK unlocks inside a deferred closure.
+func (s *server) closureDeferOK() int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.val
+}
+
+// panicDeferOK releases via defer even on the panic exit.
+func (s *server) panicDeferOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.val < 0 {
+		panic("negative")
+	}
+	s.val = 0
+}
+
+// loopOK locks and unlocks once per iteration.
+func (s *server) loopOK(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.val++
+		s.mu.Unlock()
+	}
+}
+
+// readLeak forgets the RUnlock on one path.
+func (s *server) readLeak(fail bool) int {
+	s.rw.RLock() // want "is not released on every path"
+	if fail {
+		return -1
+	}
+	v := s.val
+	s.rw.RUnlock()
+	return v
+}
+
+// sendWhileHeld blocks on a channel send with the lock held.
+func (s *server) sendWhileHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send may block while holding s.mu"
+	s.mu.Unlock()
+}
+
+// recvAfterUnlockOK blocks only after releasing.
+func (s *server) recvAfterUnlockOK() int {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return v + <-s.ch
+}
+
+// sleepUnderDefer holds the lock across a sleep; the deferred unlock
+// does not make the wait any shorter.
+func (s *server) sleepUnderDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep may block while holding s.mu"
+}
+
+// waitWhileHeld joins a WaitGroup with the lock held.
+func (s *server) waitWhileHeld() {
+	s.mu.Lock()
+	s.wg.Wait() // want "WaitGroup.Wait may block while holding s.mu"
+	s.mu.Unlock()
+}
+
+// dialWhileHeld dials with the lock held.
+func (s *server) dialWhileHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	net.Dial("tcp", "localhost:0") // want "net.Dial may block while holding s.mu"
+}
+
+// selectNoDefault parks in a select with the lock held.
+func (s *server) selectNoDefault(done chan struct{}) {
+	s.mu.Lock()
+	select { // want "select without default may block while holding s.mu"
+	case <-done:
+	case s.ch <- 1:
+	}
+	s.mu.Unlock()
+}
+
+// selectDefaultOK polls without blocking.
+func (s *server) selectDefaultOK() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		s.val = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// SolveGrid stands in for a long-running solver entry point.
+func SolveGrid(ctx context.Context, n int) int { return n }
+
+// solveWhileHeld runs a Run/Solve-family call under the lock.
+func (s *server) solveWhileHeld(ctx context.Context) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SolveGrid(ctx, s.val) // want "Run/Solve-family entry point"
+}
+
+// litLeak leaks inside a function literal, which is analyzed as its
+// own function.
+func (s *server) litLeak() func() {
+	return func() {
+		s.mu.Lock() // want "is not released on every path"
+		s.val++
+	}
+}

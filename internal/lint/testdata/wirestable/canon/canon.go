@@ -1,0 +1,21 @@
+// Package canon models the repo's canonical codec: the wirestable
+// analyzer matches canon.Marshal/Unmarshal/Hash call sites by package
+// name, so fixtures carry their own stub.
+package canon
+
+import "encoding/json"
+
+// Marshal encodes v canonically.
+func Marshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// Unmarshal decodes b into v.
+func Unmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// Hash returns a stable digest of v.
+func Hash(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,10 @@
+// Package core models the experiment catalog: the wirestable analyzer
+// treats composite literals inside an Experiment's NewParams
+// constructor as wire roots.
+package core
+
+// Experiment mirrors the catalog entry shape the analyzer looks at.
+type Experiment struct {
+	Name      string
+	NewParams func() any
+}

@@ -1,0 +1,63 @@
+// Package fix exercises the wirestable analyzer: structs reaching the
+// canon codec must be marked //canon:wire and hold only wire-stable,
+// exported fields; a marked struct nothing encodes is a stale entry.
+package fix
+
+import (
+	"encoding/json"
+
+	"fix/canon"
+	"fix/core"
+)
+
+//canon:wire
+type wireOK struct {
+	Seed  uint64          `json:"seed,omitempty"`
+	Names []string        `json:"names,omitempty"`
+	Inner *nestedOK       `json:"inner,omitempty"`
+	Raw   json.RawMessage `json:"raw,omitempty"`
+}
+
+//canon:wire
+type nestedOK struct {
+	Value float64 `json:"value,omitempty"`
+}
+
+type unmarked struct { // want "not marked //canon:wire"
+	A int `json:"a,omitempty"`
+}
+
+//canon:wire
+type hidden struct { // want "unexported field secret"
+	Public int `json:"public,omitempty"`
+	secret int
+}
+
+//canon:wire
+type unstable struct { // want "is an interface" "map with key type"
+	Handler any              `json:"handler,omitempty"`
+	ByPoint map[point]string `json:"by_point,omitempty"`
+}
+
+type point struct{ X, Y int }
+
+//canon:wire
+type stale struct { // want "stale marker"
+	A int `json:"a,omitempty"`
+}
+
+func encode(w wireOK) ([]byte, error) { return canon.Marshal(w) }
+
+func decode(b []byte) (unmarked, error) {
+	var u unmarked
+	err := canon.Unmarshal(b, &u)
+	return u, err
+}
+
+func digest(u unstable) (string, error) { return canon.Hash(u) }
+
+func catalog() []core.Experiment {
+	return []core.Experiment{
+		{Name: "demo", NewParams: func() any { return &hidden{} }},
+	}
+}

@@ -29,12 +29,31 @@ type WorkspaceCache struct {
 	lru     *list.List // front = most recently used; values are *wsEntry
 }
 
+// wsEntry serializes solves on its shared workspace with a
+// capacity-one token channel rather than a mutex: a solve holds the
+// token across the whole Workspace.Solve, and a mutex held across a
+// blocking solver run is exactly what the locksafe analyzer bans. The
+// channel form also lets a waiter give up when its context is
+// canceled instead of queueing on a mutex it can no longer use.
 type wsEntry struct {
-	mu   sync.Mutex // serializes solves on the shared workspace
-	ws   *Workspace // built under mu on first solve
+	sem  chan struct{} // capacity 1; the token serializes solves
+	ws   *Workspace    // built under the token on first solve
 	key  string
 	elem *list.Element
 }
+
+// lock acquires the entry's solve token, failing fast when ctx ends
+// first. release returns it.
+func (e *wsEntry) lock(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *wsEntry) release() { <-e.sem }
 
 // DefaultWorkspaceCacheSize bounds a cache built with size <= 0.
 const DefaultWorkspaceCacheSize = 8
@@ -68,8 +87,10 @@ func (c *WorkspaceCache) Solve(ctx context.Context, key string, s *Stack, opt So
 		opt.Obs.Counter("thermal_ws_reused").Inc()
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if err := e.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	if e.ws == nil {
 		ws, err := NewWorkspace(s)
 		if err != nil {
@@ -124,7 +145,7 @@ func (c *WorkspaceCache) acquire(key string) (e *wsEntry, evicted []*wsEntry, re
 		c.lru.MoveToFront(e.elem)
 		return e, nil, true
 	}
-	e = &wsEntry{key: key}
+	e = &wsEntry{key: key, sem: make(chan struct{}, 1)}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	for len(c.entries) > c.max {
@@ -150,8 +171,8 @@ func (c *WorkspaceCache) drop(e *wsEntry) {
 // close releases the entry's worker pool once any in-flight solve is
 // done.
 func (e *wsEntry) close() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sem <- struct{}{}
+	defer e.release()
 	if e.ws != nil {
 		e.ws.Close()
 		e.ws = nil

@@ -10,7 +10,18 @@ go vet ./...
 echo "== stacklint =="
 # The repo's own analyzer suite: context-first entry points, no
 # deprecated references, deterministic simulation packages, annotated
-# hot paths allocation-free, obs instruments touched only via methods.
+# hot paths allocation-free, obs instruments touched only via methods,
+# plus the CFG/dataflow concurrency checks (locksafe, goleak,
+# atomicmix, wirestable). First assert the full suite is registered —
+# a silently dropped analyzer passes every other gate.
+lintlist=$(go run ./cmd/stacklint -list)
+for a in atomicmix ctxfirst deprecatedcall determinism goleak \
+         hotpathalloc locksafe obsaccess wirestable; do
+    echo "$lintlist" | grep -q "^$a " || {
+        echo "verify: analyzer $a missing from stacklint -list" >&2
+        exit 1
+    }
+done
 go run ./cmd/stacklint ./...
 
 echo "== go build =="
